@@ -1,0 +1,156 @@
+//! E1 and E2 — the two axes of the Theorem 1.1 trade-off.
+//!
+//! * **E1 (time)**: at a fixed population size, sweep the trade-off parameter
+//!   `r` and measure the stabilization time from both a clean start and a
+//!   uniformly random adversarial start. The paper predicts
+//!   `O((n²/r) log n)` interactions, i.e. a log–log slope of roughly −1 in
+//!   `r`.
+//! * **E2 (space)**: for the same sweep, report the bit complexity of the
+//!   state space (per the Fig. 1–4 structure) and the measured in-memory
+//!   footprint of a verifier state. The paper predicts `2^{O(r² log n)}`
+//!   states, i.e. bit complexity growing roughly like `r²`.
+
+use crate::experiments::ssle_trial;
+use crate::runner::{run_trials, summarize_trials};
+use crate::scale::Scale;
+use crate::table::{fmt_f64, Table};
+use ppsim::stats::log_log_slope;
+use ssle_core::{measured_state_bytes, state_bits, ElectLeader, Params, Scenario};
+
+/// E1 — stabilization time versus the trade-off parameter `r`.
+pub fn e1_tradeoff_time(scale: Scale) -> Table {
+    let n = scale.fixed_n();
+    let mut table = Table::new(
+        format!("E1 — stabilization time vs r (n = {n}, Theorem 1.1 time axis)"),
+        &[
+            "r",
+            "start",
+            "trials",
+            "success rate",
+            "mean parallel time",
+            "p90 parallel time",
+            "mean interactions",
+            "bound n²·ln n / (r·n)",
+        ],
+    );
+
+    let mut clean_points: Vec<(f64, f64)> = Vec::new();
+    for &r in &scale.r_values() {
+        for scenario in [Scenario::Clean, Scenario::UniformRandom] {
+            let outcomes = run_trials(scale.trials(), scale.base_seed() ^ r as u64, |seed| {
+                ssle_trial(n, r, scenario, seed)
+            });
+            let summary = summarize_trials(&outcomes);
+            let bound = (n as f64).powi(2) * (n as f64).ln() / (r as f64 * n as f64);
+            let mean_pt = summary.mean_parallel_time();
+            table.push_row([
+                r.to_string(),
+                scenario.name(),
+                summary.trials.to_string(),
+                fmt_f64(summary.success_rate()),
+                mean_pt.map(fmt_f64).unwrap_or_else(|| "-".into()),
+                summary
+                    .parallel_time
+                    .map(|s| fmt_f64(s.p90))
+                    .unwrap_or_else(|| "-".into()),
+                mean_pt
+                    .map(|t| fmt_f64(t * n as f64))
+                    .unwrap_or_else(|| "-".into()),
+                fmt_f64(bound),
+            ]);
+            if scenario == Scenario::Clean {
+                if let Some(mean) = mean_pt {
+                    clean_points.push((r as f64, mean));
+                }
+            }
+        }
+    }
+
+    if clean_points.len() >= 2 {
+        let slope = log_log_slope(&clean_points);
+        table.push_note(format!(
+            "clean-start log-log slope of parallel time vs r: {:.2} (paper predicts ≈ -1 \
+             while the O(n log n / r) term dominates, flattening once fixed overheads take over)",
+            slope
+        ));
+    }
+    table.push_note(
+        "Shape check: time decreases as r grows; the r = n/2 row is the paper's optimal \
+         O(n log n)-interaction regime, r = 1 the poly-state regime."
+            .to_string(),
+    );
+    table
+}
+
+/// E2 — state-space size versus the trade-off parameter `r`.
+pub fn e2_state_space(scale: Scale) -> Table {
+    let n = scale.fixed_n();
+    let mut table = Table::new(
+        format!("E2 — state-space size vs r (n = {n}, Theorem 1.1 space axis)"),
+        &[
+            "r",
+            "groups",
+            "group size",
+            "bit complexity (total)",
+            "bit complexity (verifier role)",
+            "measured verifier bytes",
+            "bound r²·log₂ n",
+        ],
+    );
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for &r in &scale.r_values() {
+        let params = Params::new(n, r).expect("valid parameters");
+        let protocol = ElectLeader::new(params);
+        let bits = state_bits(&params);
+        let partition = protocol.partition();
+        let bytes = measured_state_bytes(&protocol.verifier_state(1));
+        table.push_row([
+            r.to_string(),
+            partition.num_groups().to_string(),
+            partition.group_size(0).to_string(),
+            fmt_f64(bits.total()),
+            fmt_f64(bits.verifying),
+            bytes.to_string(),
+            fmt_f64((r as f64).powi(2) * (n as f64).log2()),
+        ]);
+        points.push((r as f64, bits.total()));
+    }
+    if points.len() >= 2 {
+        table.push_note(format!(
+            "log-log slope of bit complexity vs r: {:.2} (paper bound 2^O(r² log n) predicts ≈ 2)",
+            log_log_slope(&points)
+        ));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_reports_one_row_per_r_and_growing_bits() {
+        let table = e2_state_space(Scale::Tiny);
+        assert_eq!(table.rows.len(), Scale::Tiny.r_values().len());
+        let first: f64 = table.rows.first().unwrap()[3].parse().unwrap();
+        let last: f64 = table.rows.last().unwrap()[3].parse().unwrap();
+        assert!(last > first, "bit complexity must grow with r");
+        assert!(!table.notes.is_empty());
+    }
+
+    #[test]
+    fn e1_runs_at_tiny_scale_and_stabilizes() {
+        let table = e1_tradeoff_time(Scale::Tiny);
+        // One row per (r, scenario) pair.
+        assert_eq!(
+            table.rows.len(),
+            Scale::Tiny.r_values().len() * 2,
+            "{table:?}"
+        );
+        // Clean-start rows should all stabilize at tiny scale.
+        for row in table.rows.iter().filter(|row| row[1] == "clean") {
+            let rate: f64 = row[3].parse().unwrap();
+            assert_eq!(rate, 1.0, "clean-start success rate should be 1: {row:?}");
+        }
+    }
+}

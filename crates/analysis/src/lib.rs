@@ -1,0 +1,26 @@
+//! # analysis — the experiment harness of the SSLE reproduction
+//!
+//! This crate turns the protocols of [`ssle_core`] and [`baselines`] into the
+//! measured experiments listed in `EXPERIMENTS.md` (E1–E9). It provides
+//!
+//! * [`runner`] — seeded, parallel trial execution and aggregation,
+//! * [`table`] — a small result-table type with Markdown/CSV emitters,
+//! * [`scale`] — the `Quick`/`Full` experiment scales (grid sizes, trial
+//!   counts, budgets),
+//! * [`experiments`] — one function per experiment, each returning a
+//!   [`Table`] whose rows are what `EXPERIMENTS.md` records.
+//!
+//! The `experiments` binary in the `bench` crate and the Criterion benches
+//! are thin wrappers over these functions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod scale;
+pub mod table;
+
+pub use runner::{run_trials, summarize_trials, TrialOutcome, TrialSummary};
+pub use scale::Scale;
+pub use table::Table;

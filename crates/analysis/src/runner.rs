@@ -1,0 +1,200 @@
+//! Seeded, parallel trial execution.
+//!
+//! Experiments repeat every measurement over several independent trials.
+//! [`run_trials`] derives one seed per trial from a base seed (so every table
+//! row is reproducible bit-for-bit) and executes the trials on worker threads
+//! via `crossbeam::scope`.
+
+use ppsim::rng::derive_seed;
+use ppsim::Summary;
+use serde::Serialize;
+
+/// The outcome of a single trial of a stabilization experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TrialOutcome {
+    /// Whether the stop condition was reached within the budget.
+    pub stabilized: bool,
+    /// The interaction count at which the output stabilized (if it did).
+    pub stabilized_at: Option<u64>,
+    /// Total interactions executed by the trial.
+    pub total_interactions: u64,
+    /// Population size, for parallel-time conversion.
+    pub n: usize,
+}
+
+impl TrialOutcome {
+    /// Stabilization time in parallel time units, if the trial stabilized.
+    pub fn parallel_time(&self) -> Option<f64> {
+        self.stabilized_at.map(|t| t as f64 / self.n as f64)
+    }
+}
+
+/// Aggregate statistics over the trials of one experiment cell.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TrialSummary {
+    /// Number of trials.
+    pub trials: usize,
+    /// Number of trials that stabilized within the budget.
+    pub successes: usize,
+    /// Summary of the stabilization parallel times of the successful trials
+    /// (`None` if no trial succeeded).
+    pub parallel_time: Option<Summary>,
+}
+
+impl TrialSummary {
+    /// Success rate in `[0, 1]`.
+    pub fn success_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Mean stabilization parallel time of successful trials, if any.
+    pub fn mean_parallel_time(&self) -> Option<f64> {
+        self.parallel_time.map(|s| s.mean)
+    }
+}
+
+/// Runs `trials` independent trials of `trial` in parallel, one derived seed
+/// per trial, and returns the outcomes in trial order.
+pub fn run_trials<F>(trials: usize, base_seed: u64, trial: F) -> Vec<TrialOutcome>
+where
+    F: Fn(u64) -> TrialOutcome + Sync,
+{
+    assert!(trials > 0, "need at least one trial");
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(trials);
+    let mut outcomes: Vec<Option<TrialOutcome>> = vec![None; trials];
+    {
+        let trial = &trial;
+        let chunks: Vec<&mut [Option<TrialOutcome>]> = split_chunks(&mut outcomes, workers);
+        let mut start_index = 0;
+        let starts: Vec<usize> = chunks
+            .iter()
+            .map(|c| {
+                let s = start_index;
+                start_index += c.len();
+                s
+            })
+            .collect();
+        crossbeam::scope(|scope| {
+            for (chunk, start) in chunks.into_iter().zip(starts) {
+                scope.spawn(move |_| {
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        let index = start + offset;
+                        *slot = Some(trial(derive_seed(base_seed, index as u64)));
+                    }
+                });
+            }
+        })
+        .expect("trial worker panicked");
+    }
+    outcomes.into_iter().map(|o| o.expect("trial ran")).collect()
+}
+
+fn split_chunks<T>(slice: &mut [T], parts: usize) -> Vec<&mut [T]> {
+    let len = slice.len();
+    let parts = parts.max(1).min(len.max(1));
+    let chunk = len.div_ceil(parts);
+    slice.chunks_mut(chunk.max(1)).collect()
+}
+
+/// Aggregates trial outcomes into a [`TrialSummary`].
+pub fn summarize_trials(outcomes: &[TrialOutcome]) -> TrialSummary {
+    let successes: Vec<f64> = outcomes
+        .iter()
+        .filter_map(TrialOutcome::parallel_time)
+        .collect();
+    TrialSummary {
+        trials: outcomes.len(),
+        successes: successes.len(),
+        parallel_time: if successes.is_empty() {
+            None
+        } else {
+            Some(Summary::of(&successes))
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_trial(seed: u64) -> TrialOutcome {
+        TrialOutcome {
+            stabilized: seed % 4 != 0,
+            stabilized_at: if seed % 4 != 0 { Some(seed % 1000) } else { None },
+            total_interactions: 1000,
+            n: 10,
+        }
+    }
+
+    #[test]
+    fn run_trials_is_reproducible_and_ordered() {
+        let a = run_trials(8, 42, fake_trial);
+        let b = run_trials(8, 42, fake_trial);
+        assert_eq!(a, b);
+        let c = run_trials(8, 43, fake_trial);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn run_trials_single_trial() {
+        let out = run_trials(1, 7, fake_trial);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn summarize_counts_successes_and_averages() {
+        let outcomes = vec![
+            TrialOutcome {
+                stabilized: true,
+                stabilized_at: Some(100),
+                total_interactions: 500,
+                n: 10,
+            },
+            TrialOutcome {
+                stabilized: false,
+                stabilized_at: None,
+                total_interactions: 500,
+                n: 10,
+            },
+            TrialOutcome {
+                stabilized: true,
+                stabilized_at: Some(300),
+                total_interactions: 500,
+                n: 10,
+            },
+        ];
+        let summary = summarize_trials(&outcomes);
+        assert_eq!(summary.trials, 3);
+        assert_eq!(summary.successes, 2);
+        assert!((summary.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((summary.mean_parallel_time().unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_with_no_successes() {
+        let outcomes = vec![TrialOutcome {
+            stabilized: false,
+            stabilized_at: None,
+            total_interactions: 10,
+            n: 5,
+        }];
+        let summary = summarize_trials(&outcomes);
+        assert_eq!(summary.successes, 0);
+        assert_eq!(summary.mean_parallel_time(), None);
+        assert_eq!(summary.success_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = run_trials(0, 1, fake_trial);
+    }
+}

@@ -1,0 +1,129 @@
+//! Experiment scales.
+//!
+//! Every experiment can run at two scales: [`Scale::Quick`] keeps grids and
+//! trial counts small enough for CI and for the Criterion benches (seconds to
+//! a few minutes in total), [`Scale::Full`] uses the grids recorded in
+//! `EXPERIMENTS.md`. Both scales exercise exactly the same code paths.
+
+use serde::Serialize;
+
+/// How large an experiment run should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Scale {
+    /// Minimal instances exercising every code path — used by the unit and
+    /// integration tests (debug builds).
+    Tiny,
+    /// Small grids and few trials — for CI and the Criterion benches.
+    Quick,
+    /// The grids recorded in `EXPERIMENTS.md`.
+    Full,
+}
+
+impl Scale {
+    /// Parses a scale from a command-line token.
+    pub fn parse(token: &str) -> Option<Scale> {
+        match token {
+            "tiny" => Some(Scale::Tiny),
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Number of trials per experiment cell.
+    pub fn trials(self) -> usize {
+        match self {
+            Scale::Tiny => 2,
+            Scale::Quick => 3,
+            Scale::Full => 10,
+        }
+    }
+
+    /// The population size used by experiments with a fixed `n` and a sweep
+    /// over `r`.
+    pub fn fixed_n(self) -> usize {
+        match self {
+            Scale::Tiny => 16,
+            Scale::Quick => 48,
+            Scale::Full => 96,
+        }
+    }
+
+    /// The `r` sweep used by the trade-off experiments (E1/E2/E5), as
+    /// divisors applied to [`Scale::fixed_n`].
+    pub fn r_values(self) -> Vec<usize> {
+        let n = self.fixed_n();
+        let mut values = vec![1, 2];
+        let mut r = 4;
+        while r <= n / 2 {
+            values.push(r);
+            r *= 2;
+        }
+        if !values.contains(&(n / 2)) {
+            values.push(n / 2);
+        }
+        values
+    }
+
+    /// The population sizes used by experiments that sweep `n` (E3/E6).
+    pub fn n_values(self) -> Vec<usize> {
+        match self {
+            Scale::Tiny => vec![8, 16],
+            Scale::Quick => vec![16, 32, 48],
+            Scale::Full => vec![32, 64, 96, 128],
+        }
+    }
+
+    /// The fixed `(n, r)` pair used by the recovery and soft-reset
+    /// experiments (E4/E7).
+    pub fn recovery_instance(self) -> (usize, usize) {
+        match self {
+            Scale::Tiny => (16, 4),
+            Scale::Quick => (32, 8),
+            Scale::Full => (64, 16),
+        }
+    }
+
+    /// The base seed from which all per-trial seeds are derived.
+    pub fn base_seed(self) -> u64 {
+        match self {
+            Scale::Tiny => 0x5A5A_0000,
+            Scale::Quick => 0x5A5A_0001,
+            Scale::Full => 0x5A5A_0002,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("medium"), None);
+    }
+
+    #[test]
+    fn r_values_respect_the_theorem_range() {
+        for scale in [Scale::Tiny, Scale::Quick, Scale::Full] {
+            let n = scale.fixed_n();
+            let rs = scale.r_values();
+            assert!(rs.iter().all(|&r| r >= 1 && r <= n / 2), "{rs:?}");
+            assert!(rs.contains(&(n / 2)), "the fastest regime must be included");
+            assert!(rs.contains(&1), "the smallest regime must be included");
+            let mut sorted = rs.clone();
+            sorted.dedup();
+            assert_eq!(sorted, rs, "values must be strictly increasing");
+        }
+    }
+
+    #[test]
+    fn full_scale_is_larger_than_quick() {
+        assert!(Scale::Full.trials() > Scale::Quick.trials());
+        assert!(Scale::Full.fixed_n() > Scale::Quick.fixed_n());
+        assert!(Scale::Full.n_values().last() > Scale::Quick.n_values().last());
+    }
+}

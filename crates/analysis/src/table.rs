@@ -1,0 +1,162 @@
+//! Result tables.
+//!
+//! Every experiment produces a [`Table`]: a titled grid of stringly-typed
+//! cells plus free-form notes (e.g. fitted slopes). Tables render to Markdown
+//! (for `EXPERIMENTS.md`) and CSV (for archiving / plotting).
+
+use serde::Serialize;
+
+/// A titled result table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Table {
+    /// The experiment identifier and human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows; every row must have exactly one cell per column.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes appended below the table (fitted slopes, verdicts, …).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and columns.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the number of columns.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row length must match the number of columns"
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a note rendered below the table.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for note in &self.notes {
+                out.push_str(&format!("- {note}\n"));
+            }
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header row first; notes are omitted).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with a sensible number of significant digits for table
+/// cells.
+pub fn fmt_f64(value: f64) -> String {
+    if !value.is_finite() {
+        return value.to_string();
+    }
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.abs() >= 1000.0 {
+        format!("{value:.0}")
+    } else if value.abs() >= 10.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_includes_all_parts() {
+        let mut t = Table::new("E0 — demo", &["n", "time"]);
+        t.push_row(["16", "3.5"]);
+        t.push_row(["32", "7.1"]);
+        t.push_note("slope ≈ 1.0");
+        let md = t.to_markdown();
+        assert!(md.contains("### E0 — demo"));
+        assert!(md.contains("| n | time |"));
+        assert!(md.contains("| 32 | 7.1 |"));
+        assert!(md.contains("- slope ≈ 1.0"));
+    }
+
+    #[test]
+    fn csv_rendering_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(["1,5", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"1,5\",\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn float_formatting_is_stable() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(42.34), "42.3");
+        assert_eq!(fmt_f64(12345.6), "12346");
+    }
+}

@@ -1,0 +1,146 @@
+//! The Cai–Izumi–Wada `n`-state silent self-stabilizing leader election
+//! protocol (Theory Comput. Syst. 2012), the classic state-optimal baseline
+//! discussed in the paper's related-work section.
+//!
+//! Every agent holds a single value in `[n]` (its presumed rank); when two
+//! agents with the *same* value interact, the responder advances to the next
+//! value (cyclically). The unique absorbing configurations are exactly the
+//! permutations of `[n]`, the protocol is silent once a permutation is
+//! reached, and the agent with rank 1 is the leader. Stabilization takes
+//! `Θ(n²)` interactions in expectation — the slow-but-tiny end of the design
+//! space that `ElectLeader_r` improves on.
+
+use ppsim::{AgentId, CleanInit, InteractionCtx, LeaderOutput, Protocol, RankingOutput};
+
+/// The Cai–Izumi–Wada protocol instance for a population of size `n`.
+#[derive(Debug, Clone, Copy)]
+pub struct CaiIzumiWada {
+    n: usize,
+}
+
+impl CaiIzumiWada {
+    /// Creates the protocol for a population of `n ≥ 2` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "the protocol needs at least two agents");
+        CaiIzumiWada { n }
+    }
+}
+
+impl Protocol for CaiIzumiWada {
+    /// The presumed rank, in `1..=n`.
+    type State = u32;
+
+    fn population_size(&self) -> usize {
+        self.n
+    }
+
+    fn interact(&self, u: &mut u32, v: &mut u32, _ctx: &mut InteractionCtx<'_>) {
+        if u == v {
+            // The responder advances cyclically to the next rank.
+            *v = *v % self.n as u32 + 1;
+        }
+    }
+}
+
+impl CleanInit for CaiIzumiWada {
+    /// The canonical worst-case start used in the literature: every agent in
+    /// rank 1.
+    fn clean_state(&self, _agent: AgentId) -> u32 {
+        1
+    }
+}
+
+impl LeaderOutput for CaiIzumiWada {
+    fn is_leader(&self, state: &u32) -> bool {
+        *state == 1
+    }
+}
+
+impl RankingOutput for CaiIzumiWada {
+    fn rank(&self, state: &u32) -> Option<usize> {
+        Some(*state as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::{Configuration, Simulation};
+
+    #[test]
+    fn interaction_only_changes_equal_ranks() {
+        let p = CaiIzumiWada::new(4);
+        let mut rng = ppsim::SimRng::seed_from_u64(0);
+        let mut ctx = InteractionCtx::new(&mut rng, 0);
+        let (mut a, mut b) = (2u32, 3u32);
+        p.interact(&mut a, &mut b, &mut ctx);
+        assert_eq!((a, b), (2, 3));
+        let (mut a, mut b) = (2u32, 2u32);
+        p.interact(&mut a, &mut b, &mut ctx);
+        assert_eq!((a, b), (2, 3));
+        let (mut a, mut b) = (4u32, 4u32);
+        p.interact(&mut a, &mut b, &mut ctx);
+        assert_eq!((a, b), (4, 1), "rank n wraps around to rank 1");
+    }
+
+    #[test]
+    fn stabilizes_to_a_permutation_from_all_ones() {
+        let n = 24;
+        let p = CaiIzumiWada::new(n);
+        let config = Configuration::clean(&p);
+        let mut sim = Simulation::new(p, config, 3);
+        let out = sim.run_until(
+            |c| {
+                let mut seen = vec![false; n + 1];
+                c.iter().all(|&s| {
+                    let s = s as usize;
+                    s >= 1 && s <= n && !std::mem::replace(&mut seen[s], true)
+                })
+            },
+            20_000_000,
+        );
+        assert!(out.satisfied, "must reach a permutation");
+        let protocol = CaiIzumiWada::new(n);
+        assert!(protocol.is_correct_ranking(sim.configuration().as_slice()));
+        assert_eq!(protocol.leader_count(sim.configuration().as_slice()), 1);
+    }
+
+    #[test]
+    fn stabilizes_from_adversarial_duplicates() {
+        let n = 16;
+        let p = CaiIzumiWada::new(n);
+        // Adversarial: everyone claims to be rank 7.
+        let config = Configuration::uniform(n, 7u32);
+        let mut sim = Simulation::new(p, config, 9);
+        let out = sim.run_until(
+            |c| {
+                let mut seen = vec![false; n + 1];
+                c.iter().all(|&s| !std::mem::replace(&mut seen[s as usize], true))
+            },
+            20_000_000,
+        );
+        assert!(out.satisfied);
+    }
+
+    #[test]
+    fn permutation_is_silent() {
+        let p = CaiIzumiWada::new(4);
+        let mut rng = ppsim::SimRng::seed_from_u64(0);
+        let mut ctx = InteractionCtx::new(&mut rng, 0);
+        for (a0, b0) in [(1u32, 2u32), (3, 4), (4, 2)] {
+            let (mut a, mut b) = (a0, b0);
+            p.interact(&mut a, &mut b, &mut ctx);
+            assert_eq!((a, b), (a0, b0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn tiny_population_rejected() {
+        let _ = CaiIzumiWada::new(1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # baselines — comparator protocols for the SSLE reproduction
+//!
+//! The paper positions `ElectLeader_r` against two families of prior work:
+//! state-frugal but slow silent self-stabilizing protocols (Cai–Izumi–Wada
+//! and successors) and fast non-self-stabilizing leader election. This crate
+//! implements representatives of both, plus two further reference points,
+//! all against the same [`ppsim`] substrate so experiment E6 can compare them
+//! under identical conditions:
+//!
+//! * [`CaiIzumiWada`] — the classic `n`-state silent SSLE-via-ranking
+//!   protocol (`Θ(n²)` interactions in expectation),
+//! * [`DirectCollisionSsle`] — full-information ranking plus a hard reset
+//!   only when two same-rank agents meet directly: the natural baseline whose
+//!   `Ω(n)`-time collision detection motivates the paper's message-based
+//!   mechanism,
+//! * [`MinIdLeaderElection`] — fast *non*-self-stabilizing leader election
+//!   (a lower reference line for convergence time),
+//! * [`LooselyStabilizingLe`] — a loosely-stabilizing leader election in the
+//!   style of Sudo et al., which regains a unique leader quickly from any
+//!   configuration but only holds it for a bounded (long) time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cai_izumi_wada;
+pub mod direct_collision;
+pub mod loosely_stabilizing;
+pub mod min_id;
+
+pub use cai_izumi_wada::CaiIzumiWada;
+pub use direct_collision::DirectCollisionSsle;
+pub use loosely_stabilizing::LooselyStabilizingLe;
+pub use min_id::MinIdLeaderElection;

@@ -1,0 +1,183 @@
+//! A loosely-stabilizing leader election in the style of Sudo, Nakamura,
+//! Yamauchi, Ooshita, Kakugawa, and Masuzawa (TCS 2012), the relaxation
+//! discussed in the paper's related-work section.
+//!
+//! Every agent carries a leader bit and a timeout counter. Leaders keep their
+//! counter at the maximum; followers propagate (roughly) the largest counter
+//! they have seen, decremented on every interaction. When a follower's
+//! counter reaches zero it concludes that no leader exists and promotes
+//! itself; when two leaders meet, the responder demotes itself. From *any*
+//! configuration a unique leader therefore re-emerges within `O(n log n)`
+//! interactions in practice — but unlike a truly self-stabilizing protocol
+//! the single-leader configuration is only held for a finite (exponentially
+//! long in the counter range, but bounded) time.
+
+use ppsim::{AgentId, CleanInit, InteractionCtx, LeaderOutput, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// Per-agent state of the loosely-stabilizing protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LooseState {
+    /// Whether the agent currently acts as leader.
+    pub leader: bool,
+    /// Timeout counter in `0..=timer_max`.
+    pub timer: u32,
+}
+
+/// The loosely-stabilizing leader election protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct LooselyStabilizingLe {
+    n: usize,
+    timer_max: u32,
+}
+
+impl LooselyStabilizingLe {
+    /// Creates the protocol with the default timeout `⌈8 · n · ln n⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "the protocol needs at least two agents");
+        let nf = n as f64;
+        LooselyStabilizingLe {
+            n,
+            timer_max: (8.0 * nf * nf.ln().max(1.0)).ceil() as u32,
+        }
+    }
+
+    /// Creates the protocol with an explicit timeout bound (larger values
+    /// trade longer holding times for slower recovery from leaderless
+    /// configurations).
+    pub fn with_timer_max(n: usize, timer_max: u32) -> Self {
+        assert!(n >= 2, "the protocol needs at least two agents");
+        assert!(timer_max >= 1, "the timeout must be positive");
+        LooselyStabilizingLe { n, timer_max }
+    }
+
+    /// The timeout bound in use.
+    pub fn timer_max(&self) -> u32 {
+        self.timer_max
+    }
+}
+
+impl Protocol for LooselyStabilizingLe {
+    type State = LooseState;
+
+    fn population_size(&self) -> usize {
+        self.n
+    }
+
+    fn interact(
+        &self,
+        u: &mut LooseState,
+        v: &mut LooseState,
+        _ctx: &mut InteractionCtx<'_>,
+    ) {
+        // Two leaders: the responder abdicates.
+        if u.leader && v.leader {
+            v.leader = false;
+        }
+        // Leaders refresh the timeout; followers propagate the maximum seen,
+        // decremented by one.
+        let observed = u.timer.max(v.timer);
+        for state in [&mut *u, &mut *v] {
+            if state.leader {
+                state.timer = self.timer_max;
+            } else {
+                state.timer = observed.saturating_sub(1);
+                if state.timer == 0 {
+                    // Timeout: no leader heard from for a long time.
+                    state.leader = true;
+                    state.timer = self.timer_max;
+                }
+            }
+        }
+    }
+}
+
+impl CleanInit for LooselyStabilizingLe {
+    /// Clean start: no leaders, timers at zero (the first interaction
+    /// promotes someone immediately).
+    fn clean_state(&self, _agent: AgentId) -> LooseState {
+        LooseState {
+            leader: false,
+            timer: 0,
+        }
+    }
+}
+
+impl LeaderOutput for LooselyStabilizingLe {
+    fn is_leader(&self, state: &LooseState) -> bool {
+        state.leader
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::{Configuration, Simulation};
+
+    fn unique_leader(c: &Configuration<LooseState>) -> bool {
+        c.count_where(|s| s.leader) == 1
+    }
+
+    #[test]
+    fn recovers_a_unique_leader_from_leaderless_start() {
+        let n = 64;
+        let p = LooselyStabilizingLe::new(n);
+        let config = Configuration::clean(&p);
+        let mut sim = Simulation::new(p, config, 2);
+        let out = sim.run_until(unique_leader, 5_000_000);
+        assert!(out.satisfied);
+    }
+
+    #[test]
+    fn recovers_from_an_all_leader_start() {
+        let n = 48;
+        let p = LooselyStabilizingLe::new(n);
+        let config = Configuration::uniform(
+            n,
+            LooseState {
+                leader: true,
+                timer: 0,
+            },
+        );
+        let mut sim = Simulation::new(p, config, 3);
+        let out = sim.run_until(unique_leader, 5_000_000);
+        assert!(out.satisfied);
+    }
+
+    #[test]
+    fn holds_the_leader_for_a_long_time_once_unique() {
+        let n = 32;
+        let p = LooselyStabilizingLe::new(n);
+        let timer_max = p.timer_max();
+        let config = Configuration::clean(&p);
+        let mut sim = Simulation::new(p, config, 5);
+        assert!(sim.run_until(unique_leader, 5_000_000).satisfied);
+        // Run for another timer_max * n / 4 interactions: the holding time is
+        // far longer than the recovery time, so the leader must persist.
+        let budget = u64::from(timer_max) * n as u64 / 4;
+        sim.run(budget);
+        assert!(unique_leader(sim.configuration()));
+    }
+
+    #[test]
+    fn two_leaders_meeting_demotes_the_responder() {
+        let p = LooselyStabilizingLe::new(8);
+        let mut rng = ppsim::SimRng::seed_from_u64(0);
+        let mut ctx = InteractionCtx::new(&mut rng, 0);
+        let mut a = LooseState { leader: true, timer: 5 };
+        let mut b = LooseState { leader: true, timer: 5 };
+        p.interact(&mut a, &mut b, &mut ctx);
+        assert!(a.leader && !b.leader);
+        assert_eq!(a.timer, p.timer_max());
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout must be positive")]
+    fn zero_timer_rejected() {
+        let _ = LooselyStabilizingLe::with_timer_max(8, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Non-self-stabilizing leader election by minimum-identifier epidemic.
+//!
+//! Every agent draws an identifier from `[n³]` on its first interaction; the
+//! minimum spreads as a two-way epidemic and every agent considers itself the
+//! leader exactly while its own identifier equals the smallest it has seen.
+//! From the designated clean start this converges to a unique leader in
+//! `O(n log n)` interactions w.h.p. — but it is **not** self-stabilizing (an
+//! adversarial start with no agent holding the minimum-so-far, e.g. all
+//! `min` fields set below every identifier, never elects a leader). It serves
+//! as the fast-but-fragile reference line in experiment E6.
+
+use ppsim::{AgentId, CleanInit, InteractionCtx, LeaderOutput, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// Per-agent state of the min-identifier protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinIdState {
+    /// The identifier drawn on first activation (`None` until drawn).
+    pub identifier: Option<u64>,
+    /// The smallest identifier seen so far.
+    pub min_seen: u64,
+}
+
+impl MinIdState {
+    /// Whether the agent currently considers itself the leader.
+    pub fn is_leader(&self) -> bool {
+        match self.identifier {
+            Some(id) => id <= self.min_seen,
+            None => false,
+        }
+    }
+}
+
+/// The min-identifier leader election protocol for a population of size `n`.
+#[derive(Debug, Clone, Copy)]
+pub struct MinIdLeaderElection {
+    n: usize,
+}
+
+impl MinIdLeaderElection {
+    /// Creates the protocol for a population of `n ≥ 2` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "the protocol needs at least two agents");
+        MinIdLeaderElection { n }
+    }
+
+    fn identifier_space(&self) -> u64 {
+        (self.n as u64).pow(3)
+    }
+}
+
+impl Protocol for MinIdLeaderElection {
+    type State = MinIdState;
+
+    fn population_size(&self) -> usize {
+        self.n
+    }
+
+    fn interact(
+        &self,
+        u: &mut MinIdState,
+        v: &mut MinIdState,
+        ctx: &mut InteractionCtx<'_>,
+    ) {
+        for state in [&mut *u, &mut *v] {
+            if state.identifier.is_none() {
+                let id = 1 + ctx.sample_below(self.identifier_space());
+                state.identifier = Some(id);
+                state.min_seen = state.min_seen.min(id);
+            }
+        }
+        let min = u.min_seen.min(v.min_seen);
+        u.min_seen = min;
+        v.min_seen = min;
+    }
+}
+
+impl CleanInit for MinIdLeaderElection {
+    fn clean_state(&self, _agent: AgentId) -> MinIdState {
+        MinIdState {
+            identifier: None,
+            min_seen: u64::MAX,
+        }
+    }
+}
+
+impl LeaderOutput for MinIdLeaderElection {
+    fn is_leader(&self, state: &MinIdState) -> bool {
+        state.is_leader()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::{Configuration, Simulation};
+
+    #[test]
+    fn converges_to_a_unique_leader_from_clean_start() {
+        let n = 64;
+        let p = MinIdLeaderElection::new(n);
+        let config = Configuration::clean(&p);
+        let mut sim = Simulation::new(p, config, 4);
+        let out = sim.run_until(
+            |c| {
+                c.iter().all(|s| s.identifier.is_some())
+                    && c.count_where(|s| s.is_leader()) == 1
+            },
+            10_000_000,
+        );
+        assert!(out.satisfied);
+        // The leader holds the global minimum.
+        let min = sim
+            .configuration()
+            .iter()
+            .map(|s| s.identifier.unwrap())
+            .min()
+            .unwrap();
+        let leader = sim
+            .configuration()
+            .iter()
+            .find(|s| s.is_leader())
+            .unwrap();
+        assert_eq!(leader.identifier, Some(min));
+    }
+
+    #[test]
+    fn is_not_self_stabilizing_from_poisoned_min_fields() {
+        // Adversarial start: every agent already "heard" a minimum of 0,
+        // which no identifier can match — no leader is ever elected. This
+        // documents why the protocol is only a non-self-stabilizing baseline.
+        let n = 16;
+        let p = MinIdLeaderElection::new(n);
+        let config = Configuration::uniform(
+            n,
+            MinIdState {
+                identifier: None,
+                min_seen: 0,
+            },
+        );
+        let mut sim = Simulation::new(p, config, 7);
+        sim.run(200_000);
+        assert_eq!(sim.configuration().count_where(|s| s.is_leader()), 0);
+    }
+
+    #[test]
+    fn leaders_are_transient_until_minimum_spreads() {
+        let n = 8;
+        let p = MinIdLeaderElection::new(n);
+        let config = Configuration::clean(&p);
+        let mut sim = Simulation::new(p, config, 1);
+        sim.run(4);
+        // Early on, several agents may still believe they are the leader.
+        assert!(sim.configuration().count_where(|s| s.is_leader()) >= 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! E9 bench — the synthetic-coin derandomization of Appendix B: cost of
+//! producing samples under the real scheduler, per sample-space size.
+
+use analysis::experiments::substrate::measure_coin_quality;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_coin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_synthetic_coin");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    let n = 48;
+    let interactions = 100_000u64;
+    for n_values in [8u64, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("sample_space", n_values),
+            &n_values,
+            |b, &n_values| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    measure_coin_quality(n, n_values, interactions, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coin);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E5 bench — collision-detection latency (Lemma E.1): interactions until a
+//! duplicated rank triggers the first hard reset, per trade-off parameter.
+
+use analysis::experiments::recovery::detection_trial;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_collision_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_collision_latency");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    let n = 32;
+    for r in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("two_duplicates", r), &r, |b, &r| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                detection_trial(n, r, 2, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collision_latency);
+criterion_main!(benches);

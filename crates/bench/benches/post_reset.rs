@@ -1,0 +1,25 @@
+//! E3 bench — stabilization after a triggered full reset (Lemma 6.2), per
+//! population size at the time-optimal parameter `r = n/2`.
+
+use analysis::experiments::reset::post_reset_trial;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_post_reset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_post_reset");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for n in [16usize, 32] {
+        group.bench_with_input(BenchmarkId::new("triggered", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                post_reset_trial(n, n / 2, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_post_reset);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E4 bench — recovery from adversarial configurations (Lemma 6.3), one
+//! benchmark per representative scenario of the catalog.
+
+use analysis::experiments::ssle_trial;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssle_core::Scenario;
+use std::time::Duration;
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_recovery");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    let (n, r) = (32, 8);
+    let scenarios = [
+        Scenario::AllLeaders,
+        Scenario::NoLeader,
+        Scenario::DuplicateRanks(4),
+        Scenario::MixedGenerations,
+        Scenario::UniformRandom,
+    ];
+    for scenario in scenarios {
+        group.bench_with_input(
+            BenchmarkId::new("scenario", scenario.name()),
+            &scenario,
+            |b, &scenario| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    ssle_trial(n, r, scenario, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

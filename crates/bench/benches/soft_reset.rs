@@ -1,0 +1,30 @@
+//! E7 bench — soft-reset repair of a corrupted message system (Section 3.2),
+//! per number of corrupted agents.
+
+use analysis::experiments::reset::soft_reset_probe;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_soft_reset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_soft_reset");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    let (n, r) = (32, 8);
+    for corrupted in [1usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("corrupted_agents", corrupted),
+            &corrupted,
+            |b, &corrupted| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    soft_reset_probe(n, r, corrupted, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_soft_reset);
+criterion_main!(benches);

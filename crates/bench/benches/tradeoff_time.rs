@@ -1,0 +1,28 @@
+//! E1 bench — one `ElectLeader_r` stabilization run from a clean start, per
+//! trade-off parameter `r`. The Criterion estimate per `r` is the wall-clock
+//! cost of the run whose interaction counts experiment E1 reports.
+
+use analysis::experiments::ssle_trial;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssle_core::Scenario;
+use std::time::Duration;
+
+fn bench_tradeoff_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_tradeoff_time");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    let n = 32;
+    for r in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("clean_start", r), &r, |b, &r| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                ssle_trial(n, r, Scenario::Clean, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tradeoff_time);
+criterion_main!(benches);

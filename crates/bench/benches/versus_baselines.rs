@@ -1,0 +1,73 @@
+//! E6 bench — one convergence run per contender: three `ElectLeader_r`
+//! regimes and the four baseline protocols, all at the same population size.
+
+use analysis::experiments::{clean_start_trial, ssle_trial};
+use baselines::{CaiIzumiWada, DirectCollisionSsle, LooselyStabilizingLe, MinIdLeaderElection};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppsim::{LeaderOutput, RankingOutput};
+use ssle_core::Scenario;
+use std::time::Duration;
+
+fn bench_versus_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_versus_baselines");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    let n = 32;
+    let budget = 200 * (n as u64) * (n as u64) + 200_000;
+
+    group.bench_function("elect_leader_fast_r_half_n", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            ssle_trial(n, n / 2, Scenario::Clean, seed)
+        });
+    });
+    group.bench_function("elect_leader_frugal_r_2", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            ssle_trial(n, 2, Scenario::Clean, seed)
+        });
+    });
+    group.bench_function("cai_izumi_wada", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            clean_start_trial(CaiIzumiWada::new(n), budget, seed, |c| {
+                CaiIzumiWada::new(n).is_correct_ranking(c.as_slice())
+            })
+        });
+    });
+    group.bench_function("direct_collision", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            clean_start_trial(DirectCollisionSsle::new(n), budget, seed, |c| {
+                DirectCollisionSsle::new(n).is_correct_ranking(c.as_slice())
+            })
+        });
+    });
+    group.bench_function("min_id", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            clean_start_trial(MinIdLeaderElection::new(n), budget, seed, |c| {
+                c.iter().all(|s| s.identifier.is_some())
+                    && MinIdLeaderElection::new(n).leader_count(c.as_slice()) == 1
+            })
+        });
+    });
+    group.bench_function("loosely_stabilizing", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            clean_start_trial(LooselyStabilizingLe::new(n), budget, seed, |c| {
+                LooselyStabilizingLe::new(n).leader_count(c.as_slice()) == 1
+            })
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_versus_baselines);
+criterion_main!(benches);

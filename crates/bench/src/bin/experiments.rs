@@ -1,0 +1,102 @@
+//! The experiment driver: regenerates every table of `EXPERIMENTS.md`.
+//!
+//! ```bash
+//! cargo run --release -p bench --bin experiments -- all quick
+//! cargo run --release -p bench --bin experiments -- e1 full
+//! cargo run --release -p bench --bin experiments -- e4 quick --csv results/
+//! ```
+//!
+//! The first argument selects the experiment (`e1` … `e9` or `all`), the
+//! second the scale (`tiny`, `quick`, `full`; default `quick`). With
+//! `--csv <dir>` every table is additionally written as a CSV file and as a
+//! JSON document into the given directory.
+
+use analysis::{experiments, Scale, Table};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+
+    let selection = args.first().map(String::as_str).unwrap_or("all").to_string();
+    let scale = args
+        .get(1)
+        .and_then(|a| Scale::parse(a))
+        .unwrap_or(Scale::Quick);
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+
+    let started = Instant::now();
+    let tables: Vec<Table> = if selection == "all" {
+        experiments::all(scale)
+    } else {
+        match experiments::by_id(&selection, scale) {
+            Some(table) => vec![table],
+            None => {
+                eprintln!("unknown experiment id '{selection}'");
+                print_usage();
+                std::process::exit(1);
+            }
+        }
+    };
+
+    for table in &tables {
+        println!("{}", table.to_markdown());
+    }
+    eprintln!(
+        "ran {} experiment(s) at {:?} scale in {:.1}s",
+        tables.len(),
+        scale,
+        started.elapsed().as_secs_f64()
+    );
+
+    if let Some(dir) = csv_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        for (index, table) in tables.iter().enumerate() {
+            let stem = table
+                .title
+                .split(['—', ' '])
+                .find(|s| !s.trim().is_empty())
+                .map(|s| s.trim().to_lowercase())
+                .unwrap_or_else(|| format!("table{index}"));
+            let csv_path = dir.join(format!("{stem}.csv"));
+            let json_path = dir.join(format!("{stem}.json"));
+            if let Err(e) = std::fs::write(&csv_path, table.to_csv()) {
+                eprintln!("cannot write {}: {e}", csv_path.display());
+            }
+            match serde_json::to_string_pretty(table) {
+                Ok(json) => {
+                    if let Err(e) = std::fs::write(&json_path, json) {
+                        eprintln!("cannot write {}: {e}", json_path.display());
+                    }
+                }
+                Err(e) => eprintln!("cannot serialize table: {e}"),
+            }
+        }
+        eprintln!("wrote CSV/JSON results to {}", dir.display());
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: experiments [e1|e2|...|e9|all] [tiny|quick|full] [--csv <dir>]");
+    eprintln!();
+    eprintln!("  e1  stabilization time vs r          (Theorem 1.1, time axis)");
+    eprintln!("  e2  state-space size vs r            (Theorem 1.1, space axis)");
+    eprintln!("  e3  stabilization after a full reset (Lemma 6.2)");
+    eprintln!("  e4  recovery from adversarial starts (Lemma 6.3)");
+    eprintln!("  e5  collision-detection latency      (Lemma E.1)");
+    eprintln!("  e6  ElectLeader_r vs baselines");
+    eprintln!("  e7  soft-reset safety                (Section 3.2)");
+    eprintln!("  e8  epidemic & load-balancing substrate (Lemmas A.2, E.6)");
+    eprintln!("  e9  synthetic-coin quality           (Appendix B)");
+}

@@ -1,0 +1,195 @@
+//! Adversarial initial configurations.
+//!
+//! Self-stabilization requires correctness from *every* initial configuration
+//! (Section 1.1 of the paper). Experiments therefore need a way to construct
+//! "worst-case-flavoured" starting points. Because what counts as adversarial
+//! is protocol specific, this module only defines the [`AdversarialInit`]
+//! abstraction and generic combinators; concrete catalogs live with the
+//! protocols (e.g. `ssle_core::adversary`).
+
+use crate::configuration::Configuration;
+use crate::protocol::Protocol;
+use rand::RngCore;
+use std::fmt;
+
+/// A named generator of (possibly adversarial) initial configurations for a
+/// protocol.
+pub trait AdversarialInit<P: Protocol> {
+    /// A short, stable, human-readable name used in experiment tables.
+    fn name(&self) -> &str;
+
+    /// Generates an initial configuration for the given protocol instance.
+    fn generate(&self, protocol: &P, rng: &mut dyn RngCore) -> Configuration<P::State>;
+}
+
+/// An [`AdversarialInit`] built from a name and a closure.
+pub struct FnInit<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnInit<F> {
+    /// Creates a closure-backed initializer.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnInit {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> fmt::Debug for FnInit<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnInit").field("name", &self.name).finish()
+    }
+}
+
+impl<P, F> AdversarialInit<P> for FnInit<F>
+where
+    P: Protocol,
+    F: Fn(&P, &mut dyn RngCore) -> Configuration<P::State>,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn generate(&self, protocol: &P, rng: &mut dyn RngCore) -> Configuration<P::State> {
+        (self.f)(protocol, rng)
+    }
+}
+
+/// An initializer that corrupts a fraction of the agents produced by a base
+/// initializer using a protocol-specific corruption function.
+pub struct Corrupted<I, F> {
+    base: I,
+    fraction: f64,
+    corrupt: F,
+    name: String,
+}
+
+impl<I, F> Corrupted<I, F> {
+    /// Wraps `base`, corrupting roughly `fraction` of the agents with
+    /// `corrupt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn new(base: I, fraction: f64, corrupt: F) -> Self
+    where
+        I: HasName,
+    {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "corruption fraction must lie in [0, 1]"
+        );
+        let name = format!("{}+corrupt{:.0}%", base.name_str(), fraction * 100.0);
+        Corrupted {
+            base,
+            fraction,
+            corrupt,
+            name,
+        }
+    }
+}
+
+/// Helper trait giving [`Corrupted`] access to the base initializer's name
+/// without knowing the protocol type.
+pub trait HasName {
+    /// The initializer's name.
+    fn name_str(&self) -> &str;
+}
+
+impl<F> HasName for FnInit<F> {
+    fn name_str(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<I: HasName, F> HasName for Corrupted<I, F> {
+    fn name_str(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<P, I, F> AdversarialInit<P> for Corrupted<I, F>
+where
+    P: Protocol,
+    I: AdversarialInit<P> + HasName,
+    F: Fn(&P, &mut P::State, &mut dyn RngCore),
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn generate(&self, protocol: &P, rng: &mut dyn RngCore) -> Configuration<P::State> {
+        let mut config = self.base.generate(protocol, rng);
+        let n = config.len();
+        let to_corrupt = ((n as f64) * self.fraction).round() as usize;
+        // Corrupt a random subset of the requested size (Floyd's algorithm
+        // would avoid the sort, but n is small and clarity wins).
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            indices.swap(i, j);
+        }
+        for &i in indices.iter().take(to_corrupt) {
+            (self.corrupt)(protocol, &mut config[i], rng);
+        }
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{AgentId, CleanInit, InteractionCtx};
+    use crate::rng::SimRng;
+
+    struct P(usize);
+    impl Protocol for P {
+        type State = u32;
+        fn population_size(&self) -> usize {
+            self.0
+        }
+        fn interact(&self, _u: &mut u32, _v: &mut u32, _ctx: &mut InteractionCtx<'_>) {}
+    }
+    impl CleanInit for P {
+        fn clean_state(&self, _agent: AgentId) -> u32 {
+            0
+        }
+    }
+
+    #[test]
+    fn fn_init_generates_and_names() {
+        let init = FnInit::new("all-ones", |p: &P, _rng: &mut dyn RngCore| {
+            Configuration::uniform(p.population_size(), 1u32)
+        });
+        assert_eq!(AdversarialInit::<P>::name(&init), "all-ones");
+        let mut rng = SimRng::seed_from_u64(0);
+        let c = init.generate(&P(5), &mut rng);
+        assert!(c.all(|s| *s == 1));
+    }
+
+    #[test]
+    fn corrupted_corrupts_requested_fraction() {
+        let base = FnInit::new("zeros", |p: &P, _rng: &mut dyn RngCore| {
+            Configuration::uniform(p.population_size(), 0u32)
+        });
+        let adv = Corrupted::new(base, 0.5, |_p: &P, s: &mut u32, _rng: &mut dyn RngCore| {
+            *s = 99;
+        });
+        assert!(AdversarialInit::<P>::name(&adv).contains("corrupt50%"));
+        let mut rng = SimRng::seed_from_u64(7);
+        let c = adv.generate(&P(10), &mut rng);
+        assert_eq!(c.count_where(|s| *s == 99), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn corrupted_rejects_bad_fraction() {
+        let base = FnInit::new("zeros", |p: &P, _rng: &mut dyn RngCore| {
+            Configuration::uniform(p.population_size(), 0u32)
+        });
+        let _ = Corrupted::new(base, 1.5, |_p: &P, _s: &mut u32, _r: &mut dyn RngCore| {});
+    }
+}

@@ -1,0 +1,207 @@
+//! Synthetic-coin derandomization (paper Appendix B).
+//!
+//! The population model's transition function is deterministic; protocols that
+//! "sample random values" must extract that randomness from the scheduler.
+//! The paper's Appendix B (following Berenbrink, Friedetzky, Kaaser, Kling,
+//! IPDPS'19) equips every agent with three extra fields:
+//!
+//! * `coin ∈ {0,1}` — flipped to its complement on **every** interaction, so
+//!   that at any time roughly half the population shows each value,
+//! * `coins ∈ {0,1}^{log N}` — a sliding window of the partner coins observed
+//!   in the last `log N` interactions,
+//! * `coin_count ∈ Z_{log N}` — a cyclic write cursor into `coins`.
+//!
+//! After `log N` interactions the window holds `log N` (almost) independent,
+//! (almost) fair bits whose concatenation is an (almost) uniform sample from
+//! `[N]`: the paper shows `P[x] ∈ [1/(2N), 2/N]` for every value `x`.
+//!
+//! [`SyntheticCoin`] packages exactly this mechanism so that protocols can be
+//! run in a fully derandomized mode, and so experiment E9 can measure the
+//! distribution quality empirically.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-agent synthetic-coin state (Appendix B fields `Coin`, `Coins`,
+/// `CoinCount`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SyntheticCoin {
+    /// The number of values `N` samples are drawn from.
+    n_values: u64,
+    /// Number of bits per sample: `ceil(log2 N)`.
+    bits: u32,
+    /// The agent's own coin, flipped on every interaction.
+    coin: bool,
+    /// Sliding window of observed partner coins.
+    coins: Vec<bool>,
+    /// Cyclic cursor into `coins`.
+    coin_count: usize,
+    /// How many observations have been recorded since the window was last
+    /// consumed (a full window is required before a sample may be taken).
+    fresh: usize,
+}
+
+impl SyntheticCoin {
+    /// Creates the synthetic-coin state for sampling values from `[n_values]`
+    /// (i.e. `0..n_values`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_values < 2`.
+    pub fn new(n_values: u64) -> Self {
+        assert!(n_values >= 2, "the sample space must have at least two values");
+        let bits = 64 - (n_values - 1).leading_zeros();
+        SyntheticCoin {
+            n_values,
+            bits,
+            coin: false,
+            coins: vec![false; bits as usize],
+            coin_count: 0,
+            fresh: 0,
+        }
+    }
+
+    /// Creates the state with an explicit initial own-coin value (useful for
+    /// adversarial initialization).
+    pub fn with_initial_coin(n_values: u64, coin: bool) -> Self {
+        let mut c = Self::new(n_values);
+        c.coin = coin;
+        c
+    }
+
+    /// The number of values in the sample space.
+    pub fn n_values(&self) -> u64 {
+        self.n_values
+    }
+
+    /// The number of bits collected per sample.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The agent's own coin as shown to interaction partners.
+    pub fn own_coin(&self) -> bool {
+        self.coin
+    }
+
+    /// Whether a full window of fresh observations is available, i.e.
+    /// [`SyntheticCoin::sample`] would return a value.
+    pub fn ready(&self) -> bool {
+        self.fresh >= self.coins.len()
+    }
+
+    /// Records one interaction: observes the partner's coin and flips the own
+    /// coin (Appendix B equations (4)–(7)).
+    pub fn observe(&mut self, partner_coin: bool) {
+        let len = self.coins.len();
+        self.coins[self.coin_count] = partner_coin;
+        self.coin_count = (self.coin_count + 1) % len;
+        if self.fresh < len {
+            self.fresh += 1;
+        }
+        self.coin = !self.coin;
+    }
+
+    /// Consumes the current window and returns an (almost) uniform sample
+    /// from `[0, n_values)`, or `None` if fewer than `log N` fresh
+    /// observations are available (the caller must wait for more
+    /// interactions, which the paper's protocols guarantee by construction).
+    ///
+    /// Values ≥ `n_values` (possible because `N` need not be a power of two)
+    /// are reduced modulo `n_values`; this keeps every value's probability
+    /// within the `[1/(2N), 2/N]` band required by the paper.
+    pub fn sample(&mut self) -> Option<u64> {
+        if !self.ready() {
+            return None;
+        }
+        let mut x = 0u64;
+        // Read the window starting at the cursor so consecutive samples use
+        // disjoint observation windows in a fixed order.
+        let len = self.coins.len();
+        for i in 0..len {
+            let bit = self.coins[(self.coin_count + i) % len];
+            x = (x << 1) | u64::from(bit);
+        }
+        self.fresh = 0;
+        Some(x % self.n_values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn needs_full_window_before_sampling() {
+        let mut c = SyntheticCoin::new(16);
+        assert_eq!(c.bits(), 4);
+        assert!(!c.ready());
+        for _ in 0..3 {
+            c.observe(true);
+            assert!(c.sample().is_none());
+        }
+        c.observe(true);
+        assert!(c.ready());
+        assert_eq!(c.sample(), Some(15));
+        // Window consumed: must refill before the next sample.
+        assert!(c.sample().is_none());
+    }
+
+    #[test]
+    fn own_coin_alternates_every_interaction() {
+        let mut c = SyntheticCoin::new(4);
+        let first = c.own_coin();
+        c.observe(false);
+        assert_eq!(c.own_coin(), !first);
+        c.observe(false);
+        assert_eq!(c.own_coin(), first);
+    }
+
+    #[test]
+    fn bits_is_ceil_log2() {
+        assert_eq!(SyntheticCoin::new(2).bits(), 1);
+        assert_eq!(SyntheticCoin::new(3).bits(), 2);
+        assert_eq!(SyntheticCoin::new(4).bits(), 2);
+        assert_eq!(SyntheticCoin::new(5).bits(), 3);
+        assert_eq!(SyntheticCoin::new(1024).bits(), 10);
+        assert_eq!(SyntheticCoin::new(1025).bits(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two values")]
+    fn tiny_sample_space_rejected() {
+        let _ = SyntheticCoin::new(1);
+    }
+
+    #[test]
+    fn samples_are_roughly_uniform_given_fair_partner_coins() {
+        // Feed genuinely fair partner coins; the resulting samples must be
+        // close to uniform over [0, N).
+        let n_values = 8u64;
+        let mut c = SyntheticCoin::new(n_values);
+        let mut rng = crate::rng::SimRng::seed_from_u64(0xDEADBEEF);
+        let mut counts = vec![0u64; n_values as usize];
+        let samples = 8_000;
+        let mut taken = 0;
+        while taken < samples {
+            c.observe(rng.gen::<u64>() & 1 == 1);
+            if let Some(x) = c.sample() {
+                counts[x as usize] += 1;
+                taken += 1;
+            }
+        }
+        let expected = samples as f64 / n_values as f64;
+        for (value, &count) in counts.iter().enumerate() {
+            assert!(
+                (count as f64 - expected).abs() < 0.25 * expected,
+                "value {value} occurred {count} times, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_initial_coin_sets_coin() {
+        assert!(SyntheticCoin::with_initial_coin(4, true).own_coin());
+        assert!(!SyntheticCoin::with_initial_coin(4, false).own_coin());
+    }
+}

@@ -1,0 +1,274 @@
+//! Population configurations.
+//!
+//! A configuration `C ∈ Q^n` assigns one protocol state to each of the `n`
+//! agents. [`Configuration`] is a thin, well-behaved wrapper around `Vec<S>`
+//! with the predicate helpers the experiment harness and the correctness
+//! checks need.
+
+use crate::protocol::{AgentId, CleanInit, Protocol};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A configuration of a population: the vector of all agents' states.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Configuration<S> {
+    states: Vec<S>,
+}
+
+impl<S> Configuration<S> {
+    /// Creates a configuration from an explicit state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty: the population model requires `n ≥ 1`
+    /// (and every interesting protocol here requires `n ≥ 2`).
+    pub fn from_states(states: Vec<S>) -> Self {
+        assert!(!states.is_empty(), "a population must have at least one agent");
+        Configuration { states }
+    }
+
+    /// The population size `n`.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the population is empty. Always `false` for configurations
+    /// built through the public constructors; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Immutable access to an agent's state.
+    pub fn state(&self, agent: AgentId) -> &S {
+        &self.states[agent.index()]
+    }
+
+    /// Mutable access to an agent's state.
+    pub fn state_mut(&mut self, agent: AgentId) -> &mut S {
+        &mut self.states[agent.index()]
+    }
+
+    /// Iterates over all agents' states.
+    pub fn iter(&self) -> std::slice::Iter<'_, S> {
+        self.states.iter()
+    }
+
+    /// Iterates mutably over all agents' states.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, S> {
+        self.states.iter_mut()
+    }
+
+    /// Returns the states as a slice.
+    pub fn as_slice(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Consumes the configuration and returns the underlying state vector.
+    pub fn into_states(self) -> Vec<S> {
+        self.states
+    }
+
+    /// Counts the agents whose state satisfies the predicate.
+    pub fn count_where<F: FnMut(&S) -> bool>(&self, mut pred: F) -> usize {
+        self.states.iter().filter(|s| pred(s)).count()
+    }
+
+    /// Whether every agent's state satisfies the predicate.
+    pub fn all<F: FnMut(&S) -> bool>(&self, mut pred: F) -> bool {
+        self.states.iter().all(|s| pred(s))
+    }
+
+    /// Whether some agent's state satisfies the predicate.
+    pub fn any<F: FnMut(&S) -> bool>(&self, mut pred: F) -> bool {
+        self.states.iter().any(|s| pred(s))
+    }
+
+    /// Applies the ordered-pair transition `(u, v)` by handing mutable access
+    /// to both slots to the closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (an agent never interacts with itself) or if either
+    /// index is out of bounds.
+    pub fn with_pair_mut<F: FnOnce(&mut S, &mut S)>(&mut self, u: AgentId, v: AgentId, f: F) {
+        let (ui, vi) = (u.index(), v.index());
+        assert_ne!(ui, vi, "an agent cannot interact with itself");
+        let (a, b) = if ui < vi {
+            let (left, right) = self.states.split_at_mut(vi);
+            (&mut left[ui], &mut right[0])
+        } else {
+            let (left, right) = self.states.split_at_mut(ui);
+            (&mut right[0], &mut left[vi])
+        };
+        f(a, b);
+    }
+}
+
+impl<S: Clone> Configuration<S> {
+    /// Creates a configuration with every agent in the same state.
+    pub fn uniform(n: usize, state: S) -> Self {
+        assert!(n > 0, "a population must have at least one agent");
+        Configuration {
+            states: vec![state; n],
+        }
+    }
+}
+
+impl<S> Configuration<S> {
+    /// Creates the protocol's clean initial configuration (every agent in its
+    /// [`CleanInit::clean_state`]).
+    pub fn clean<P>(protocol: &P) -> Configuration<P::State>
+    where
+        P: CleanInit<State = S>,
+    {
+        let n = protocol.population_size();
+        assert!(n > 0, "a population must have at least one agent");
+        Configuration {
+            states: (0..n).map(|i| protocol.clean_state(AgentId::new(i))).collect(),
+        }
+    }
+
+    /// Creates a configuration by evaluating `f` on every agent slot.
+    pub fn from_fn<P, F>(protocol: &P, mut f: F) -> Configuration<P::State>
+    where
+        P: Protocol<State = S>,
+        F: FnMut(AgentId) -> P::State,
+    {
+        let n = protocol.population_size();
+        assert!(n > 0, "a population must have at least one agent");
+        Configuration {
+            states: (0..n).map(|i| f(AgentId::new(i))).collect(),
+        }
+    }
+}
+
+impl<S: fmt::Debug> fmt::Debug for Configuration<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Configuration")
+            .field("n", &self.states.len())
+            .field("states", &self.states)
+            .finish()
+    }
+}
+
+impl<S> Index<usize> for Configuration<S> {
+    type Output = S;
+    fn index(&self, index: usize) -> &S {
+        &self.states[index]
+    }
+}
+
+impl<S> IndexMut<usize> for Configuration<S> {
+    fn index_mut(&mut self, index: usize) -> &mut S {
+        &mut self.states[index]
+    }
+}
+
+impl<S> FromIterator<S> for Configuration<S> {
+    fn from_iter<T: IntoIterator<Item = S>>(iter: T) -> Self {
+        Configuration::from_states(iter.into_iter().collect())
+    }
+}
+
+impl<'a, S> IntoIterator for &'a Configuration<S> {
+    type Item = &'a S;
+    type IntoIter = std::slice::Iter<'a, S>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.states.iter()
+    }
+}
+
+impl<S> IntoIterator for Configuration<S> {
+    type Item = S;
+    type IntoIter = std::vec::IntoIter<S>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.states.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::InteractionCtx;
+
+    struct Noop(usize);
+    impl Protocol for Noop {
+        type State = u32;
+        fn population_size(&self) -> usize {
+            self.0
+        }
+        fn interact(&self, _u: &mut u32, _v: &mut u32, _ctx: &mut InteractionCtx<'_>) {}
+    }
+    impl CleanInit for Noop {
+        fn clean_state(&self, agent: AgentId) -> u32 {
+            agent.index() as u32
+        }
+    }
+
+    #[test]
+    fn clean_uses_clean_state() {
+        let c = Configuration::clean(&Noop(5));
+        assert_eq!(c.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_fn_evaluates_each_slot() {
+        let c = Configuration::from_fn(&Noop(3), |a| (a.index() * 10) as u32);
+        assert_eq!(c.as_slice(), &[0, 10, 20]);
+    }
+
+    #[test]
+    fn uniform_fills_population() {
+        let c = Configuration::uniform(4, 7u32);
+        assert_eq!(c.len(), 4);
+        assert!(c.all(|s| *s == 7));
+    }
+
+    #[test]
+    fn count_any_all() {
+        let c = Configuration::from_states(vec![1, 2, 3, 4]);
+        assert_eq!(c.count_where(|s| s % 2 == 0), 2);
+        assert!(c.any(|s| *s == 3));
+        assert!(!c.all(|s| *s > 1));
+    }
+
+    #[test]
+    fn with_pair_mut_gives_disjoint_access_both_orders() {
+        let mut c = Configuration::from_states(vec![1, 2, 3]);
+        c.with_pair_mut(AgentId::new(0), AgentId::new(2), |a, b| {
+            std::mem::swap(a, b);
+        });
+        assert_eq!(c.as_slice(), &[3, 2, 1]);
+        c.with_pair_mut(AgentId::new(2), AgentId::new(0), |a, b| {
+            *a += 10;
+            *b += 100;
+        });
+        assert_eq!(c.as_slice(), &[103, 2, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot interact with itself")]
+    fn with_pair_mut_rejects_self_interaction() {
+        let mut c = Configuration::from_states(vec![1, 2, 3]);
+        c.with_pair_mut(AgentId::new(1), AgentId::new(1), |_a, _b| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn empty_population_rejected() {
+        let _ = Configuration::<u32>::from_states(vec![]);
+    }
+
+    #[test]
+    fn indexing_and_iteration() {
+        let mut c: Configuration<u32> = (0..4u32).collect();
+        assert_eq!(c[2], 2);
+        c[2] = 9;
+        assert_eq!(*c.state(AgentId::new(2)), 9);
+        *c.state_mut(AgentId::new(0)) = 5;
+        let collected: Vec<u32> = (&c).into_iter().copied().collect();
+        assert_eq!(collected, vec![5, 1, 9, 3]);
+        let owned: Vec<u32> = c.into_iter().collect();
+        assert_eq!(owned, vec![5, 1, 9, 3]);
+    }
+}

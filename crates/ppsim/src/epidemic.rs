@@ -1,0 +1,183 @@
+//! Epidemic (broadcast) primitives and their empirical analysis.
+//!
+//! The paper relies heavily on one-way epidemics to spread information
+//! (Lemma A.2: `n` simultaneous epidemics all complete within
+//! `c_epi · n · log n` interactions w.h.p. with `c_epi < 7`). This module
+//! implements the one-way and two-way epidemic protocols directly so the
+//! constant can be measured (experiment E8), and exposes
+//! [`measure_epidemic_time`] as a reusable helper.
+
+use crate::configuration::Configuration;
+use crate::protocol::{AgentId, CleanInit, InteractionCtx, Protocol};
+use crate::simulation::Simulation;
+
+/// One-way epidemic: when an *informed* initiator meets an uninformed
+/// responder, the responder becomes informed. (Information flows only from
+/// initiator to responder, matching the broadcast primitive used by the
+/// paper's sub-protocols.)
+#[derive(Debug, Clone, Copy)]
+pub struct OneWayEpidemic {
+    n: usize,
+    sources: usize,
+}
+
+impl OneWayEpidemic {
+    /// Creates a one-way epidemic over `n` agents with `sources` initially
+    /// informed agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is zero or exceeds `n`.
+    pub fn new(n: usize, sources: usize) -> Self {
+        assert!(sources >= 1 && sources <= n, "need 1..=n sources");
+        OneWayEpidemic { n, sources }
+    }
+}
+
+impl Protocol for OneWayEpidemic {
+    type State = bool;
+
+    fn population_size(&self) -> usize {
+        self.n
+    }
+
+    fn interact(&self, u: &mut bool, v: &mut bool, _ctx: &mut InteractionCtx<'_>) {
+        if *u {
+            *v = true;
+        }
+    }
+}
+
+impl CleanInit for OneWayEpidemic {
+    fn clean_state(&self, agent: AgentId) -> bool {
+        agent.index() < self.sources
+    }
+}
+
+/// Two-way epidemic: if either interacting agent is informed, both become
+/// informed.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoWayEpidemic {
+    n: usize,
+    sources: usize,
+}
+
+impl TwoWayEpidemic {
+    /// Creates a two-way epidemic over `n` agents with `sources` initially
+    /// informed agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is zero or exceeds `n`.
+    pub fn new(n: usize, sources: usize) -> Self {
+        assert!(sources >= 1 && sources <= n, "need 1..=n sources");
+        TwoWayEpidemic { n, sources }
+    }
+}
+
+impl Protocol for TwoWayEpidemic {
+    type State = bool;
+
+    fn population_size(&self) -> usize {
+        self.n
+    }
+
+    fn interact(&self, u: &mut bool, v: &mut bool, _ctx: &mut InteractionCtx<'_>) {
+        if *u || *v {
+            *u = true;
+            *v = true;
+        }
+    }
+}
+
+impl CleanInit for TwoWayEpidemic {
+    fn clean_state(&self, agent: AgentId) -> bool {
+        agent.index() < self.sources
+    }
+}
+
+/// Runs one epidemic to completion and returns the number of interactions it
+/// took for every agent to become informed.
+///
+/// Returns `None` if the epidemic did not complete within `budget`
+/// interactions (which indicates a far-too-small budget: completion is
+/// guaranteed with probability 1).
+pub fn measure_epidemic_time<P>(protocol: P, seed: u64, budget: u64) -> Option<u64>
+where
+    P: Protocol<State = bool> + CleanInit,
+{
+    let config = Configuration::clean(&protocol);
+    let mut sim = Simulation::new(protocol, config, seed);
+    let out = sim.run_until(|c| c.all(|s| *s), budget);
+    out.satisfied.then_some(out.interactions)
+}
+
+/// The empirical epidemic constant: completion interactions divided by
+/// `n · ln n`.
+pub fn epidemic_constant(interactions: u64, n: usize) -> f64 {
+    interactions as f64 / (n as f64 * (n as f64).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_way_epidemic_completes_in_reasonable_time() {
+        let n = 128;
+        let t = measure_epidemic_time(OneWayEpidemic::new(n, 1), 42, 10_000_000)
+            .expect("epidemic should complete");
+        // Lemma A.2: completion within c_epi * n log n with c_epi < 7;
+        // allow generous slack for a single trial.
+        assert!(epidemic_constant(t, n) < 12.0, "constant was {}", epidemic_constant(t, n));
+        assert!(t as usize > n, "must take more than n interactions");
+    }
+
+    #[test]
+    fn two_way_is_no_slower_than_one_way_on_average() {
+        let n = 64;
+        let trials = 10;
+        let avg = |two_way: bool| -> f64 {
+            (0..trials)
+                .map(|i| {
+                    if two_way {
+                        measure_epidemic_time(TwoWayEpidemic::new(n, 1), 100 + i, 10_000_000)
+                            .unwrap() as f64
+                    } else {
+                        measure_epidemic_time(OneWayEpidemic::new(n, 1), 100 + i, 10_000_000)
+                            .unwrap() as f64
+                    }
+                })
+                .sum::<f64>()
+                / trials as f64
+        };
+        assert!(avg(true) <= avg(false) * 1.1);
+    }
+
+    #[test]
+    fn more_sources_spread_faster() {
+        let n = 96;
+        let trials = 8;
+        let avg = |sources: usize| -> f64 {
+            (0..trials)
+                .map(|i| {
+                    measure_epidemic_time(OneWayEpidemic::new(n, sources), 7 + i, 10_000_000)
+                        .unwrap() as f64
+                })
+                .sum::<f64>()
+                / trials as f64
+        };
+        assert!(avg(n / 2) < avg(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=n sources")]
+    fn zero_sources_rejected() {
+        let _ = OneWayEpidemic::new(8, 0);
+    }
+
+    #[test]
+    fn insufficient_budget_returns_none() {
+        assert_eq!(measure_epidemic_time(OneWayEpidemic::new(64, 1), 0, 5), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for the simulation substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by simulations and experiment runners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run hit its interaction budget before the stop condition held.
+    BudgetExhausted {
+        /// The interaction budget that was exhausted.
+        budget: u64,
+    },
+    /// The protocol was configured with an invalid parameter combination.
+    InvalidParameters {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BudgetExhausted { budget } => {
+                write!(f, "interaction budget of {budget} exhausted before the stop condition held")
+            }
+            SimError::InvalidParameters { reason } => {
+                write!(f, "invalid protocol parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::BudgetExhausted { budget: 10 };
+        assert!(e.to_string().contains("10"));
+        let e = SimError::InvalidParameters {
+            reason: "r must be at least 1".into(),
+        };
+        assert!(e.to_string().contains("r must be at least 1"));
+    }
+}

@@ -1,0 +1,101 @@
+//! # ppsim — a population-protocol simulation substrate
+//!
+//! This crate implements the computational model of Angluin, Aspnes, Diamadi,
+//! Fischer, and Peralta (*Computation in networks of passively mobile
+//! finite-state sensors*, Distributed Computing 2006) that the reproduced paper
+//! builds on: a population of `n` anonymous agents, each holding a state from a
+//! protocol-defined state space, interacting in uniformly random ordered pairs
+//! under a fixed transition function.
+//!
+//! It provides everything needed to *evaluate* population protocols:
+//!
+//! * [`Protocol`] — the transition-function abstraction (plus [`CleanInit`],
+//!   [`LeaderOutput`] and [`RankingOutput`] for initialization and output
+//!   extraction),
+//! * [`Configuration`] — a population state vector with predicate helpers,
+//! * [`scheduler`] — the uniformly random scheduler and a scripted scheduler
+//!   for reachability-style unit tests,
+//! * [`Simulation`] — the run loop, with stop conditions and stabilization
+//!   detection ([`convergence`]),
+//! * [`adversary`] — combinators for arbitrary (adversarial) initial
+//!   configurations, as required for *self-stabilization* experiments,
+//! * [`epidemic`] — one-way/two-way epidemic protocols and measurement helpers
+//!   (the paper's Lemma A.2 workhorse),
+//! * [`coin`] — the synthetic-coin derandomization of the paper's Appendix B,
+//! * [`stats`] — summaries, histograms and log–log slope fits used to check
+//!   asymptotic shapes.
+//!
+//! # Quick example
+//!
+//! ```
+//! use ppsim::{Protocol, CleanInit, Configuration, Simulation, InteractionCtx, AgentId};
+//!
+//! /// A two-state "rumour spreading" (one-way epidemic) protocol.
+//! struct Rumour {
+//!     n: usize,
+//! }
+//!
+//! impl Protocol for Rumour {
+//!     type State = bool;
+//!     fn population_size(&self) -> usize {
+//!         self.n
+//!     }
+//!     fn interact(&self, u: &mut bool, v: &mut bool, _ctx: &mut InteractionCtx<'_>) {
+//!         if *u {
+//!             *v = true;
+//!         }
+//!     }
+//! }
+//!
+//! impl CleanInit for Rumour {
+//!     fn clean_state(&self, agent: AgentId) -> bool {
+//!         agent.index() == 0
+//!     }
+//! }
+//!
+//! let protocol = Rumour { n: 50 };
+//! let config = Configuration::clean(&protocol);
+//! let mut sim = Simulation::new(protocol, config, 7);
+//! let outcome = sim.run_until(|c| c.iter().all(|s| *s), 1_000_000);
+//! assert!(outcome.satisfied);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod coin;
+pub mod configuration;
+pub mod convergence;
+pub mod epidemic;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod rng;
+pub mod scheduler;
+pub mod simulation;
+pub mod stats;
+
+pub use adversary::AdversarialInit;
+pub use coin::SyntheticCoin;
+pub use configuration::Configuration;
+pub use convergence::{StabilizationDetector, StabilizationResult};
+pub use error::SimError;
+pub use metrics::InteractionMetrics;
+pub use protocol::{AgentId, CleanInit, InteractionCtx, LeaderOutput, Protocol, RankingOutput};
+pub use rng::SimRng;
+pub use scheduler::{OrderedPair, ScriptedScheduler, Scheduler, UniformScheduler};
+pub use simulation::{RunOutcome, Simulation};
+pub use stats::Summary;
+
+/// Converts a number of interactions into *parallel time* (interactions divided
+/// by the population size), the time measure used throughout the paper.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ppsim::parallel_time(1_000, 100), 10.0);
+/// ```
+pub fn parallel_time(interactions: u64, n: usize) -> f64 {
+    interactions as f64 / n as f64
+}

@@ -1,0 +1,97 @@
+//! Interaction metrics.
+//!
+//! Tracks how many interactions each agent took part in, which is the
+//! empirical counterpart of the paper's Lemma A.1 (every agent's interaction
+//! count stays within a constant factor of `t/n` w.h.p. for `t ≥ 4 n log n`).
+
+use crate::protocol::AgentId;
+use serde::Serialize;
+
+/// Per-agent and global interaction counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct InteractionMetrics {
+    per_agent: Vec<u64>,
+    total: u64,
+}
+
+impl InteractionMetrics {
+    /// Creates metrics for a population of size `n`.
+    pub fn new(n: usize) -> Self {
+        InteractionMetrics {
+            per_agent: vec![0; n],
+            total: 0,
+        }
+    }
+
+    /// Records one interaction between the two agents.
+    pub fn record(&mut self, u: AgentId, v: AgentId) {
+        self.per_agent[u.index()] += 1;
+        self.per_agent[v.index()] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of interactions recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of interactions agent `a` took part in.
+    pub fn of(&self, a: AgentId) -> u64 {
+        self.per_agent[a.index()]
+    }
+
+    /// The smallest per-agent interaction count.
+    pub fn min(&self) -> u64 {
+        self.per_agent.iter().copied().min().unwrap_or(0)
+    }
+
+    /// The largest per-agent interaction count.
+    pub fn max(&self) -> u64 {
+        self.per_agent.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The ratio between the largest per-agent count and the ideal `2t/n`
+    /// average (1.0 = perfectly balanced). Returns 0.0 before any interaction.
+    pub fn max_imbalance(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let ideal = 2.0 * self.total as f64 / self.per_agent.len() as f64;
+        self.max() as f64 / ideal
+    }
+
+    /// Parallel time elapsed: interactions divided by the population size.
+    pub fn parallel_time(&self) -> f64 {
+        self.total as f64 / self.per_agent.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_agent_and_total() {
+        let mut m = InteractionMetrics::new(3);
+        m.record(AgentId::new(0), AgentId::new(1));
+        m.record(AgentId::new(0), AgentId::new(2));
+        assert_eq!(m.total(), 2);
+        assert_eq!(m.of(AgentId::new(0)), 2);
+        assert_eq!(m.of(AgentId::new(1)), 1);
+        assert_eq!(m.of(AgentId::new(2)), 1);
+        assert_eq!(m.min(), 1);
+        assert_eq!(m.max(), 2);
+    }
+
+    #[test]
+    fn imbalance_and_parallel_time() {
+        let mut m = InteractionMetrics::new(4);
+        assert_eq!(m.max_imbalance(), 0.0);
+        for _ in 0..10 {
+            m.record(AgentId::new(0), AgentId::new(1));
+        }
+        assert!((m.parallel_time() - 2.5).abs() < 1e-12);
+        // agent 0 has 10 interactions, ideal is 2*10/4 = 5, imbalance 2.0
+        assert!((m.max_imbalance() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! Deterministic, seedable randomness for reproducible experiments.
+//!
+//! Every simulation run is driven by a [`SimRng`], a ChaCha8-based generator
+//! seeded from a user-supplied 64-bit seed. The harness derives independent
+//! per-trial seeds with [`derive_seed`], so experiment rows are reproducible
+//! bit-for-bit while trials remain statistically independent.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The simulation random number generator.
+///
+/// A thin newtype around `ChaCha8Rng` so the choice of generator stays an
+/// implementation detail of this crate.
+#[derive(Debug, Clone)]
+pub struct SimRng(ChaCha8Rng);
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng(ChaCha8Rng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.0.try_fill_bytes(dest)
+    }
+}
+
+/// Derives an independent seed for a sub-experiment (e.g. trial `index` of the
+/// experiment seeded with `base`).
+///
+/// Uses the SplitMix64 finalizer, which maps distinct inputs to
+/// well-distributed outputs.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(99);
+        let mut b = SimRng::seed_from_u64(99);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn derive_seed_distinct_for_distinct_trials() {
+        let base = 12345;
+        let seeds: Vec<u64> = (0..100).map(|i| derive_seed(base, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn fill_bytes_fills() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut buf = [0u8; 16];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|b| *b != 0));
+        assert!(rng.try_fill_bytes(&mut buf).is_ok());
+    }
+}

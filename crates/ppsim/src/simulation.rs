@@ -1,0 +1,358 @@
+//! The simulation run loop.
+//!
+//! [`Simulation`] owns a protocol instance, a configuration, a scheduler and a
+//! seeded RNG, and executes interactions one at a time. It offers three
+//! levels of control:
+//!
+//! * [`Simulation::step`] — execute a single interaction (used by unit tests
+//!   and by callers that need custom observation logic),
+//! * [`Simulation::run_until`] — run until a configuration predicate holds or
+//!   a budget is exhausted,
+//! * [`Simulation::measure_stabilization`] — measure the *stabilization time*
+//!   of an output predicate: the first interaction after which the predicate
+//!   held continuously until the end of a confirmation window.
+
+use crate::configuration::Configuration;
+use crate::convergence::{StabilizationDetector, StabilizationResult};
+use crate::metrics::InteractionMetrics;
+use crate::protocol::{InteractionCtx, Protocol};
+use crate::rng::SimRng;
+use crate::scheduler::{OrderedPair, Scheduler, UniformScheduler};
+use serde::Serialize;
+
+/// Outcome of [`Simulation::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RunOutcome {
+    /// Number of interactions executed by this call.
+    pub interactions: u64,
+    /// Whether the stop predicate was satisfied (as opposed to the budget
+    /// running out or the scheduler being exhausted).
+    pub satisfied: bool,
+}
+
+/// Options for [`Simulation::measure_stabilization`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StabilizationOptions {
+    /// Maximum number of interactions to execute.
+    pub budget: u64,
+    /// Evaluate the output predicate every this many interactions. Larger
+    /// values are faster but bound the measurement error of the stabilization
+    /// time by the same amount.
+    pub check_every: u64,
+    /// Stop early once the predicate has held continuously for this many
+    /// interactions.
+    pub confirm_window: u64,
+}
+
+impl StabilizationOptions {
+    /// Sensible defaults for a population of size `n`: a budget of
+    /// `budget` interactions, predicate checks every interaction, and a
+    /// confirmation window of `20·n·ln n` interactions.
+    pub fn new(n: usize, budget: u64) -> Self {
+        let nf = n as f64;
+        StabilizationOptions {
+            budget,
+            check_every: 1,
+            confirm_window: (20.0 * nf * nf.ln().max(1.0)).ceil() as u64,
+        }
+    }
+
+    /// Sets the predicate check interval.
+    pub fn check_every(mut self, every: u64) -> Self {
+        self.check_every = every.max(1);
+        self
+    }
+
+    /// Sets the confirmation window.
+    pub fn confirm_window(mut self, window: u64) -> Self {
+        self.confirm_window = window;
+        self
+    }
+}
+
+/// A single population-protocol execution.
+#[derive(Debug)]
+pub struct Simulation<P: Protocol, S: Scheduler = UniformScheduler> {
+    protocol: P,
+    config: Configuration<P::State>,
+    scheduler: S,
+    rng: SimRng,
+    metrics: InteractionMetrics,
+    interactions: u64,
+}
+
+impl<P: Protocol> Simulation<P, UniformScheduler> {
+    /// Creates a simulation under the uniformly random scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration size does not match
+    /// [`Protocol::population_size`].
+    pub fn new(protocol: P, config: Configuration<P::State>, seed: u64) -> Self {
+        Self::with_scheduler(protocol, config, UniformScheduler::new(), seed)
+    }
+}
+
+impl<P: Protocol, S: Scheduler> Simulation<P, S> {
+    /// Creates a simulation with an explicit scheduler (e.g.
+    /// [`crate::scheduler::ScriptedScheduler`] for reachability tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration size does not match
+    /// [`Protocol::population_size`].
+    pub fn with_scheduler(
+        protocol: P,
+        config: Configuration<P::State>,
+        scheduler: S,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            protocol.population_size(),
+            config.len(),
+            "configuration size must match the protocol's population size"
+        );
+        let n = config.len();
+        Simulation {
+            protocol,
+            config,
+            scheduler,
+            rng: SimRng::seed_from_u64(seed),
+            metrics: InteractionMetrics::new(n),
+            interactions: 0,
+        }
+    }
+
+    /// The protocol being simulated.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The current configuration.
+    pub fn configuration(&self) -> &Configuration<P::State> {
+        &self.config
+    }
+
+    /// Mutable access to the current configuration (used by failure-injection
+    /// experiments that corrupt agent state mid-run).
+    pub fn configuration_mut(&mut self) -> &mut Configuration<P::State> {
+        &mut self.config
+    }
+
+    /// Number of interactions executed so far.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Parallel time elapsed so far (interactions divided by `n`).
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.config.len() as f64
+    }
+
+    /// Per-agent interaction metrics.
+    pub fn metrics(&self) -> &InteractionMetrics {
+        &self.metrics
+    }
+
+    /// Executes a single interaction. Returns the pair that interacted, or
+    /// `None` if the scheduler is exhausted.
+    pub fn step(&mut self) -> Option<OrderedPair> {
+        let n = self.config.len();
+        let pair = self.scheduler.next_pair(n, &mut self.rng)?;
+        let interaction = self.interactions;
+        let protocol = &self.protocol;
+        let rng = &mut self.rng;
+        self.config
+            .with_pair_mut(pair.initiator, pair.responder, |u, v| {
+                let mut ctx = InteractionCtx::new(rng, interaction);
+                protocol.interact(u, v, &mut ctx);
+            });
+        self.metrics.record(pair.initiator, pair.responder);
+        self.interactions += 1;
+        Some(pair)
+    }
+
+    /// Executes up to `budget` interactions unconditionally. Returns the
+    /// number actually executed (less than `budget` only if the scheduler ran
+    /// out of scripted interactions).
+    pub fn run(&mut self, budget: u64) -> u64 {
+        let mut done = 0;
+        while done < budget {
+            if self.step().is_none() {
+                break;
+            }
+            done += 1;
+        }
+        done
+    }
+
+    /// Runs until `pred` holds for the current configuration or `budget`
+    /// interactions have been executed by this call.
+    pub fn run_until<F>(&mut self, mut pred: F, budget: u64) -> RunOutcome
+    where
+        F: FnMut(&Configuration<P::State>) -> bool,
+    {
+        let mut done = 0;
+        loop {
+            if pred(&self.config) {
+                return RunOutcome {
+                    interactions: done,
+                    satisfied: true,
+                };
+            }
+            if done >= budget || self.step().is_none() {
+                return RunOutcome {
+                    interactions: done,
+                    satisfied: false,
+                };
+            }
+            done += 1;
+        }
+    }
+
+    /// Measures the stabilization time of the output predicate `pred`.
+    ///
+    /// Runs for at most `opts.budget` interactions, evaluating `pred` every
+    /// `opts.check_every` interactions, and stops early once the predicate
+    /// has held continuously for `opts.confirm_window` interactions. The
+    /// returned [`StabilizationResult::stabilized_at`] is the interaction
+    /// count at the first check from which the predicate held until the end
+    /// of the run.
+    pub fn measure_stabilization<F>(
+        &mut self,
+        mut pred: F,
+        opts: StabilizationOptions,
+    ) -> StabilizationResult
+    where
+        F: FnMut(&Configuration<P::State>) -> bool,
+    {
+        let n = self.config.len();
+        let mut detector = StabilizationDetector::new();
+        let start = self.interactions;
+        detector.observe(0, pred(&self.config));
+        let mut executed = 0u64;
+        while executed < opts.budget {
+            if self.step().is_none() {
+                break;
+            }
+            executed += 1;
+            if executed % opts.check_every == 0 {
+                detector.observe(executed, pred(&self.config));
+                if detector.consecutive(executed) >= opts.confirm_window {
+                    break;
+                }
+            }
+        }
+        // Final check so the detector reflects the end-of-run configuration.
+        detector.observe(executed, pred(&self.config));
+        let _ = start;
+        StabilizationResult {
+            interactions: executed,
+            stabilized_at: detector.stabilized_at(),
+            n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{AgentId, CleanInit};
+    use crate::scheduler::ScriptedScheduler;
+
+    /// One-way epidemic: informed initiators inform responders.
+    struct Epidemic(usize);
+    impl Protocol for Epidemic {
+        type State = bool;
+        fn population_size(&self) -> usize {
+            self.0
+        }
+        fn interact(&self, u: &mut bool, v: &mut bool, _ctx: &mut InteractionCtx<'_>) {
+            if *u || *v {
+                *u = true;
+                *v = true;
+            }
+        }
+    }
+    impl CleanInit for Epidemic {
+        fn clean_state(&self, agent: AgentId) -> bool {
+            agent.index() == 0
+        }
+    }
+
+    #[test]
+    fn epidemic_reaches_everyone() {
+        let p = Epidemic(64);
+        let c = Configuration::clean(&p);
+        let mut sim = Simulation::new(p, c, 11);
+        let out = sim.run_until(|c| c.all(|s| *s), 1_000_000);
+        assert!(out.satisfied);
+        assert!(out.interactions > 0);
+        assert_eq!(sim.metrics().total(), sim.interactions());
+    }
+
+    #[test]
+    fn scripted_scheduler_applies_exact_sequence() {
+        let p = Epidemic(4);
+        let c = Configuration::clean(&p);
+        let sched = ScriptedScheduler::from_indices([(0, 1), (1, 2), (2, 3)]);
+        let mut sim = Simulation::with_scheduler(p, c, sched, 0);
+        assert_eq!(sim.run(100), 3);
+        assert!(sim.configuration().all(|s| *s));
+        assert!(sim.step().is_none());
+    }
+
+    #[test]
+    fn run_until_budget_exhaustion_reports_unsatisfied() {
+        let p = Epidemic(8);
+        // Nobody informed: predicate can never hold.
+        let c = Configuration::uniform(8, false);
+        let mut sim = Simulation::new(p, c, 5);
+        let out = sim.run_until(|c| c.any(|s| *s), 200);
+        assert!(!out.satisfied);
+        assert_eq!(out.interactions, 200);
+    }
+
+    #[test]
+    fn measure_stabilization_finds_epidemic_completion() {
+        let p = Epidemic(32);
+        let c = Configuration::clean(&p);
+        let mut sim = Simulation::new(p, c, 3);
+        let opts = StabilizationOptions::new(32, 200_000).confirm_window(2_000);
+        let res = sim.measure_stabilization(|c| c.all(|s| *s), opts);
+        assert!(res.stabilized());
+        let t = res.stabilized_at.unwrap();
+        assert!(t > 0 && t < 200_000);
+        assert!(res.parallel_time().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn measure_stabilization_reports_failure_when_budget_too_small() {
+        let p = Epidemic(32);
+        let c = Configuration::uniform(32, false);
+        let mut sim = Simulation::new(p, c, 3);
+        let opts = StabilizationOptions::new(32, 1_000);
+        let res = sim.measure_stabilization(|c| c.all(|s| *s), opts);
+        assert!(!res.stabilized());
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_configuration_size_panics() {
+        let p = Epidemic(8);
+        let c = Configuration::uniform(4, false);
+        let _ = Simulation::new(p, c, 0);
+    }
+
+    #[test]
+    fn configuration_mut_allows_mid_run_corruption() {
+        let p = Epidemic(8);
+        let c = Configuration::clean(&p);
+        let mut sim = Simulation::new(p, c, 1);
+        sim.run(50);
+        for s in sim.configuration_mut().iter_mut() {
+            *s = false;
+        }
+        assert!(sim.configuration().all(|s| !*s));
+    }
+}

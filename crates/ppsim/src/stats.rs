@@ -1,0 +1,232 @@
+//! Summary statistics for experiment results.
+//!
+//! Small, dependency-free statistics helpers: five-number-style summaries,
+//! histograms, and a log–log least-squares slope used to check asymptotic
+//! shapes (e.g. "stabilization time scales like `1/r`").
+
+use serde::Serialize;
+
+/// A summary of a sample of real values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for a single value).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Median.
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains non-finite values.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "cannot summarize non-finite values"
+        );
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            p10: percentile(&sorted, 0.10),
+            median: percentile(&sorted, 0.50),
+            p90: percentile(&sorted, 0.90),
+            max: sorted[count - 1],
+        }
+    }
+
+    /// Half-width of a normal-approximation 95% confidence interval for the
+    /// mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.count as f64).sqrt()
+    }
+}
+
+/// Linear interpolation percentile of an already-sorted sample, `q ∈ [0, 1]`.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)`.
+///
+/// Used to verify asymptotic shapes: if `y ≈ c · x^a`, the returned slope
+/// approximates `a`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or any coordinate is not
+/// strictly positive.
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points for a slope");
+    assert!(
+        points.iter().all(|&(x, y)| x > 0.0 && y > 0.0),
+        "log-log slope requires strictly positive coordinates"
+    );
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// A fixed-width histogram over `[min, max)`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    bins: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins covering `[min, max)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `min >= max`.
+    pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(bins > 0, "a histogram needs at least one bin");
+        assert!(min < max, "histogram range must be non-empty");
+        Histogram {
+            min,
+            max,
+            bins: vec![0; bins],
+            below: 0,
+            above: 0,
+        }
+    }
+
+    /// Records an observation.
+    pub fn record(&mut self, value: f64) {
+        if value < self.min {
+            self.below += 1;
+        } else if value >= self.max {
+            self.above += 1;
+        } else {
+            let width = (self.max - self.min) / self.bins.len() as f64;
+            let idx = ((value - self.min) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// The per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below / above the range.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// Total number of recorded observations, including outliers.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.below + self.above
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert!(s.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_empty_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn log_log_slope_recovers_exponent() {
+        let points: Vec<(f64, f64)> = (1..=6).map(|i| {
+            let x = (1 << i) as f64;
+            (x, 3.0 * x.powf(1.5))
+        }).collect();
+        assert!((log_log_slope(&points) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_log_slope_negative_exponent() {
+        let points: Vec<(f64, f64)> = (1..=6).map(|i| {
+            let x = (1 << i) as f64;
+            (x, 10.0 / x)
+        }).collect();
+        assert!((log_log_slope(&points) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [-1.0, 0.0, 1.9, 2.0, 9.9, 10.0, 50.0] {
+            h.record(v);
+        }
+        assert_eq!(h.bins(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.outliers(), (1, 2));
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the simulation substrate.
+
+use ppsim::stats::{log_log_slope, Histogram};
+use ppsim::{
+    parallel_time, AgentId, Configuration, OrderedPair, Scheduler, SimRng, Summary, SyntheticCoin,
+    UniformScheduler,
+};
+use proptest::prelude::*;
+use rand::RngCore;
+
+proptest! {
+    /// The uniform scheduler only ever returns valid ordered pairs.
+    #[test]
+    fn uniform_scheduler_pairs_are_always_valid(n in 2usize..40, seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut sched = UniformScheduler::new();
+        for _ in 0..50 {
+            let pair = sched.next_pair(n, &mut rng).unwrap();
+            prop_assert!(pair.initiator.index() < n);
+            prop_assert!(pair.responder.index() < n);
+            prop_assert_ne!(pair.initiator, pair.responder);
+        }
+    }
+
+    /// Summaries are order statistics: min ≤ p10 ≤ median ≤ p90 ≤ max and the
+    /// mean lies between min and max.
+    #[test]
+    fn summary_order_statistics_are_ordered(values in prop::collection::vec(-1e6f64..1e6, 1..64)) {
+        let s = Summary::of(&values);
+        prop_assert!(s.min <= s.p10 + 1e-9);
+        prop_assert!(s.p10 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p90 + 1e-9);
+        prop_assert!(s.p90 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert_eq!(s.count, values.len());
+    }
+
+    /// A histogram never loses observations.
+    #[test]
+    fn histogram_conserves_observations(values in prop::collection::vec(-10f64..20.0, 0..200)) {
+        let mut h = Histogram::new(0.0, 10.0, 7);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total() as usize, values.len());
+    }
+
+    /// The log-log slope of an exact power law recovers its exponent.
+    #[test]
+    fn log_log_slope_recovers_power_laws(
+        exponent in -3.0f64..3.0,
+        scale in 0.1f64..100.0,
+        points in 2usize..12,
+    ) {
+        let data: Vec<(f64, f64)> = (1..=points)
+            .map(|i| {
+                let x = (i * 2) as f64;
+                (x, scale * x.powf(exponent))
+            })
+            .collect();
+        let slope = log_log_slope(&data);
+        prop_assert!((slope - exponent).abs() < 1e-6, "slope {slope} vs exponent {exponent}");
+    }
+
+    /// Parallel time is linear in the interaction count.
+    #[test]
+    fn parallel_time_is_interactions_over_n(interactions in 0u64..1_000_000, n in 1usize..1000) {
+        let t = parallel_time(interactions, n);
+        prop_assert!((t * n as f64 - interactions as f64).abs() < 1e-6);
+    }
+
+    /// Synthetic-coin samples are always inside the sample space, and a
+    /// sample is available exactly when a full window of observations has
+    /// been collected.
+    #[test]
+    fn synthetic_coin_samples_stay_in_range(
+        n_values in 2u64..2000,
+        bits in prop::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut coin = SyntheticCoin::new(n_values);
+        let mut observed = 0usize;
+        for bit in bits {
+            coin.observe(bit);
+            observed += 1;
+            if observed >= coin.bits() as usize {
+                prop_assert!(coin.ready());
+                let sample = coin.sample().unwrap();
+                prop_assert!(sample < n_values);
+                observed = 0;
+            } else {
+                prop_assert!(!coin.ready());
+                prop_assert!(coin.sample().is_none());
+            }
+        }
+    }
+
+    /// Configuration pair access never aliases and preserves all other slots.
+    #[test]
+    fn with_pair_mut_only_touches_the_pair(
+        n in 2usize..30,
+        a in 0usize..30,
+        b in 0usize..30,
+    ) {
+        let a = a % n;
+        let b = b % n;
+        prop_assume!(a != b);
+        let mut config: Configuration<u64> = (0..n as u64).collect();
+        config.with_pair_mut(AgentId::new(a), AgentId::new(b), |x, y| {
+            *x += 1000;
+            *y += 2000;
+        });
+        for i in 0..n {
+            let expected = if i == a {
+                i as u64 + 1000
+            } else if i == b {
+                i as u64 + 2000
+            } else {
+                i as u64
+            };
+            prop_assert_eq!(config[i], expected);
+        }
+    }
+
+    /// Seed derivation is injective in practice over small trial ranges.
+    #[test]
+    fn derived_seeds_do_not_collide(base in any::<u64>()) {
+        let seeds: Vec<u64> = (0..64).map(|i| ppsim::rng::derive_seed(base, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), seeds.len());
+    }
+}
+
+/// Deterministic regression: the same seed yields the same interaction
+/// sequence (pairs drawn from the scheduler).
+#[test]
+fn scheduler_stream_is_reproducible() {
+    let draw = |seed: u64| -> Vec<OrderedPair> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut sched = UniformScheduler::new();
+        (0..32).map(|_| sched.next_pair(9, &mut rng).unwrap()).collect()
+    };
+    assert_eq!(draw(5), draw(5));
+    assert_ne!(draw(5), draw(6));
+    // Consuming the RNG elsewhere changes subsequent draws (sanity check that
+    // the scheduler actually uses the provided RNG).
+    let mut rng = SimRng::seed_from_u64(5);
+    let _ = rng.next_u64();
+    let mut sched = UniformScheduler::new();
+    let shifted: Vec<OrderedPair> = (0..32).map(|_| sched.next_pair(9, &mut rng).unwrap()).collect();
+    assert_ne!(draw(5), shifted);
+}

@@ -1,0 +1,310 @@
+//! `ElectLeader_r` (Section 4, Protocol 1): the top-level protocol.
+//!
+//! The wrapper is thin: depending on the two agents' roles it dispatches to
+//! `PropagateReset`, `AssignRanks_r`, or `StableVerify_r`, and it manages the
+//! two role transitions the sub-protocols cannot perform themselves — rankers
+//! becoming verifiers (when their countdown expires or they meet a verifier)
+//! and verifiers triggering a hard reset.
+
+use crate::groups::GroupPartition;
+use crate::params::Params;
+use crate::ranking::assign_ranks;
+use crate::reset::{propagate_reset, trigger_reset};
+use crate::state::{AgentState, VerifyingAgent};
+use crate::verify::{stable_verify, VerifyState, VerifyVerdict};
+use ppsim::{AgentId, CleanInit, InteractionCtx, LeaderOutput, Protocol, RankingOutput, SimError};
+
+/// The `ElectLeader_r` protocol instance for a fixed `(n, r)`.
+///
+/// # Examples
+///
+/// ```
+/// use ssle_core::ElectLeader;
+/// use ppsim::{Configuration, Simulation};
+///
+/// let protocol = ElectLeader::with_n_r(16, 4).expect("valid parameters");
+/// let config = Configuration::clean(&protocol);
+/// let mut sim = Simulation::new(protocol, config, 42);
+/// sim.run(1_000);
+/// assert_eq!(sim.interactions(), 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElectLeader {
+    params: Params,
+    partition: GroupPartition,
+}
+
+impl ElectLeader {
+    /// Creates the protocol from a validated parameter set.
+    pub fn new(params: Params) -> Self {
+        let partition = GroupPartition::new(&params);
+        ElectLeader { params, partition }
+    }
+
+    /// Convenience constructor from `(n, r)` with default constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameters`] if the parameters violate
+    /// `1 ≤ r ≤ n/2` or `n < 4`.
+    pub fn with_n_r(n: usize, r: usize) -> Result<Self, SimError> {
+        Params::new(n, r).map(Self::new)
+    }
+
+    /// The protocol's parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The rank-space partition used by collision detection.
+    pub fn partition(&self) -> &GroupPartition {
+        &self.partition
+    }
+
+    /// Builds the initial verifier sub-state for a committed rank. Exposed so
+    /// adversarial initializers and tests can construct verifier
+    /// configurations directly.
+    pub fn verifier_state(&self, rank: u32) -> AgentState {
+        let rank = self.clamp_rank(rank);
+        AgentState::Verifying(VerifyingAgent {
+            rank,
+            sv: VerifyState::initial(&self.params, &self.partition, rank),
+        })
+    }
+
+    /// Ranks outside `[1, n]` can only arise from corrupted configurations;
+    /// they are clamped so that group lookups stay well defined (the
+    /// resulting duplicate ranks are then caught by collision detection).
+    fn clamp_rank(&self, rank: u32) -> u32 {
+        rank.clamp(1, self.params.n as u32)
+    }
+
+    /// The ranker → verifier promotion (Protocol 1, lines 7–8).
+    fn promote_to_verifier(&self, agent: &mut AgentState) {
+        if let AgentState::Ranking(r) = agent {
+            let rank = self.clamp_rank(r.qar.rank);
+            *agent = AgentState::Verifying(VerifyingAgent {
+                rank,
+                sv: VerifyState::initial(&self.params, &self.partition, rank),
+            });
+        }
+    }
+}
+
+impl Protocol for ElectLeader {
+    type State = AgentState;
+
+    fn population_size(&self) -> usize {
+        self.params.n
+    }
+
+    fn interact(
+        &self,
+        u: &mut AgentState,
+        v: &mut AgentState,
+        ctx: &mut InteractionCtx<'_>,
+    ) {
+        // Lines 1–2: PropagateReset. (Non-resetters may become resetters, and
+        // dormant resetters may restart as rankers.)
+        if u.is_resetting() || v.is_resetting() {
+            propagate_reset(&self.params, u, v);
+        }
+
+        // Lines 3–5: two rankers execute AssignRanks_r and age their
+        // countdowns.
+        if let (AgentState::Ranking(ru), AgentState::Ranking(rv)) = (&mut *u, &mut *v) {
+            assign_ranks(&self.params, &mut ru.qar, &mut rv.qar, ctx);
+            ru.countdown = ru.countdown.saturating_sub(1);
+            rv.countdown = rv.countdown.saturating_sub(1);
+        }
+
+        // Lines 6–8: rankers become verifiers when their countdown runs out
+        // or via the epidemic started by existing verifiers.
+        let promote_u = matches!(&*u, AgentState::Ranking(r) if r.countdown == 0)
+            || (u.is_ranking() && v.is_verifying());
+        if promote_u {
+            self.promote_to_verifier(u);
+        }
+        let promote_v = matches!(&*v, AgentState::Ranking(r) if r.countdown == 0)
+            || (v.is_ranking() && u.is_verifying());
+        if promote_v {
+            self.promote_to_verifier(v);
+        }
+
+        // Lines 9–10: two verifiers execute StableVerify_r; a TriggerReset
+        // verdict starts the hard-reset epidemic.
+        let mut verdicts = (VerifyVerdict::Continue, VerifyVerdict::Continue);
+        if let (AgentState::Verifying(vu), AgentState::Verifying(vv)) = (&mut *u, &mut *v) {
+            verdicts = stable_verify(
+                &self.params,
+                &self.partition,
+                vu.rank,
+                &mut vu.sv,
+                vv.rank,
+                &mut vv.sv,
+                ctx,
+            );
+        }
+        if verdicts.0 == VerifyVerdict::TriggerReset {
+            trigger_reset(&self.params, u);
+        }
+        if verdicts.1 == VerifyVerdict::TriggerReset {
+            trigger_reset(&self.params, v);
+        }
+    }
+}
+
+impl CleanInit for ElectLeader {
+    /// The clean start used by experiments: every agent as a freshly reset
+    /// ranker (the state produced by the `Reset` routine of Appendix C).
+    fn clean_state(&self, _agent: AgentId) -> AgentState {
+        AgentState::fresh_ranker(&self.params)
+    }
+}
+
+impl LeaderOutput for ElectLeader {
+    /// The leader is the agent that committed to rank 1.
+    fn is_leader(&self, state: &AgentState) -> bool {
+        state.verified_rank() == Some(1)
+    }
+}
+
+impl RankingOutput for ElectLeader {
+    /// Only verifiers output a rank; the protocol's output is correct once
+    /// every agent is a verifier and the committed ranks form a permutation
+    /// of `[n]`.
+    fn rank(&self, state: &AgentState) -> Option<usize> {
+        state.verified_rank().map(|r| r as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ResetState;
+    use ppsim::{Configuration, Simulation};
+
+    #[test]
+    fn constructor_validates_parameters() {
+        assert!(ElectLeader::with_n_r(16, 4).is_ok());
+        assert!(ElectLeader::with_n_r(16, 9).is_err());
+    }
+
+    #[test]
+    fn clean_configuration_is_all_rankers() {
+        let p = ElectLeader::with_n_r(16, 4).unwrap();
+        let c = Configuration::clean(&p);
+        assert!(c.all(|s| s.is_ranking()));
+        assert_eq!(p.leader_count(c.as_slice()), 0);
+        assert!(!p.is_correct_ranking(c.as_slice()));
+    }
+
+    #[test]
+    fn verifier_state_builder_clamps_ranks() {
+        let p = ElectLeader::with_n_r(16, 4).unwrap();
+        let s = p.verifier_state(99);
+        assert_eq!(s.verified_rank(), Some(16));
+        let s = p.verifier_state(0);
+        assert_eq!(s.verified_rank(), Some(1));
+        assert!(p.is_leader(&s));
+    }
+
+    #[test]
+    fn ranker_with_expired_countdown_becomes_verifier() {
+        let p = ElectLeader::with_n_r(16, 4).unwrap();
+        let mut config = Configuration::clean(&p);
+        if let AgentState::Ranking(r) = &mut config[0] {
+            r.countdown = 1;
+            // Give the agent a committed rank in a different group than its
+            // partner's default rank so the same-interaction StableVerify
+            // call does not see a collision.
+            r.qar.rank = 5;
+        }
+        let mut sim = Simulation::with_scheduler(
+            p,
+            config,
+            ppsim::ScriptedScheduler::from_indices([(0, 1)]),
+            0,
+        );
+        sim.run(1);
+        assert_eq!(sim.configuration()[0].verified_rank(), Some(5));
+        // The partner is dragged along by the verifier epidemic of lines 6–8.
+        assert!(sim.configuration()[1].is_verifying());
+    }
+
+    #[test]
+    fn verifier_role_spreads_to_rankers_by_epidemic() {
+        let p = ElectLeader::with_n_r(16, 4).unwrap();
+        let mut config = Configuration::clean(&p);
+        config[3] = p.verifier_state(3);
+        for (i, rank) in [(0usize, 7u32), (1, 11)] {
+            if let AgentState::Ranking(r) = &mut config[i] {
+                r.qar.rank = rank;
+            }
+        }
+        let mut sim = Simulation::with_scheduler(
+            p,
+            config,
+            ppsim::ScriptedScheduler::from_indices([(3, 0), (0, 1)]),
+            0,
+        );
+        sim.run(2);
+        assert_eq!(sim.configuration()[0].verified_rank(), Some(7));
+        assert_eq!(sim.configuration()[1].verified_rank(), Some(11));
+    }
+
+    #[test]
+    fn promotion_cascade_with_colliding_default_ranks_triggers_reset() {
+        // Two rankers that are promoted in the same interaction both carry
+        // the default believed rank 1; StableVerify sees the collision while
+        // both are on probation and triggers a hard reset — the designed
+        // recovery path for a ranking that never completed.
+        let p = ElectLeader::with_n_r(16, 4).unwrap();
+        let mut config = Configuration::clean(&p);
+        if let AgentState::Ranking(r) = &mut config[0] {
+            r.countdown = 1;
+        }
+        let mut sim = Simulation::with_scheduler(
+            p,
+            config,
+            ppsim::ScriptedScheduler::from_indices([(0, 1)]),
+            0,
+        );
+        sim.run(1);
+        assert!(sim.configuration()[0].is_resetting());
+        assert!(sim.configuration()[1].is_resetting());
+    }
+
+    #[test]
+    fn two_verifiers_with_equal_rank_on_probation_trigger_a_reset() {
+        let p = ElectLeader::with_n_r(16, 4).unwrap();
+        let mut config = Configuration::clean(&p);
+        config[0] = p.verifier_state(5);
+        config[1] = p.verifier_state(5);
+        let mut sim = Simulation::with_scheduler(
+            p,
+            config,
+            ppsim::ScriptedScheduler::from_indices([(0, 1)]),
+            0,
+        );
+        sim.run(1);
+        assert!(sim.configuration()[0].is_resetting());
+        assert!(sim.configuration()[1].is_resetting());
+    }
+
+    #[test]
+    fn resetter_infects_computing_partner_via_wrapper() {
+        let p = ElectLeader::with_n_r(16, 4).unwrap();
+        let params = *p.params();
+        let mut config = Configuration::clean(&p);
+        config[0] = AgentState::Resetting(ResetState::triggered(&params));
+        let mut sim = Simulation::with_scheduler(
+            p,
+            config,
+            ppsim::ScriptedScheduler::from_indices([(0, 1)]),
+            0,
+        );
+        sim.run(1);
+        assert!(sim.configuration()[1].is_resetting());
+    }
+}

@@ -1,0 +1,267 @@
+//! The configuration hierarchy of the recovery analysis (Section 6).
+//!
+//! The proof of Lemma 6.3 classifies configurations into a chain of nested
+//! sets `𝒞 = E₀ ⊃ E₁ ⊃ E₂ ⊃ E₃ ⊃ E₄ ⊃ E₅` and shows that from each layer the
+//! protocol either advances to the next layer or triggers a reset, quickly
+//! and w.h.p. [`classify`] computes which layer a configuration belongs to,
+//! which the recovery experiments (E4) use both to construct starting points
+//! and to track progress. [`satisfies_safe_shape`] checks the *syntactic*
+//! part of the safe set `𝒞_safe` of Lemma 6.1 (the reachability condition of
+//! part (b) is not checkable from a snapshot; see the function docs).
+
+use crate::output::is_correct_output;
+use crate::state::AgentState;
+use crate::verify::GENERATIONS;
+use ppsim::Configuration;
+use serde::Serialize;
+
+/// The strata of the recovery hierarchy. `Level(k)` corresponds to the
+/// difference set `E_k \ E_{k+1}`; `Correct` corresponds to `E₅`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum RecoveryLevel {
+    /// `E₀ \ E₁`: some agent is a resetter.
+    HasResetters,
+    /// `E₁ \ E₂`: no resetters, but some agent is still a ranker.
+    HasRankers,
+    /// `E₂ \ E₃`: all verifiers, but generations differ.
+    MixedGenerations,
+    /// `E₃ \ E₄`: all verifiers in one generation, but some probation timer is
+    /// still positive.
+    OnProbation,
+    /// `E₄ \ E₅`: all verifiers, one generation, probation over, but the
+    /// ranking is incorrect.
+    IncorrectRanking,
+    /// `E₅`: all verifiers, one generation, probation over, correct ranking.
+    Correct,
+}
+
+impl RecoveryLevel {
+    /// A short, stable label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryLevel::HasResetters => "E0\\E1 (resetters present)",
+            RecoveryLevel::HasRankers => "E1\\E2 (rankers present)",
+            RecoveryLevel::MixedGenerations => "E2\\E3 (mixed generations)",
+            RecoveryLevel::OnProbation => "E3\\E4 (on probation)",
+            RecoveryLevel::IncorrectRanking => "E4\\E5 (incorrect ranking)",
+            RecoveryLevel::Correct => "E5 (correct ranking)",
+        }
+    }
+}
+
+/// Classifies a configuration into the recovery hierarchy.
+pub fn classify(config: &Configuration<AgentState>) -> RecoveryLevel {
+    if config.any(|s| s.is_resetting()) {
+        return RecoveryLevel::HasResetters;
+    }
+    if config.any(|s| s.is_ranking()) {
+        return RecoveryLevel::HasRankers;
+    }
+    let generations: Vec<u8> = config
+        .iter()
+        .filter_map(|s| match s {
+            AgentState::Verifying(v) => Some(v.sv.generation),
+            _ => None,
+        })
+        .collect();
+    let first = generations.first().copied().unwrap_or(0);
+    if generations.iter().any(|&g| g != first) {
+        return RecoveryLevel::MixedGenerations;
+    }
+    let on_probation = config.any(|s| match s {
+        AgentState::Verifying(v) => v.sv.probation_timer > 0,
+        _ => false,
+    });
+    if on_probation {
+        return RecoveryLevel::OnProbation;
+    }
+    if !is_correct_output(config) {
+        return RecoveryLevel::IncorrectRanking;
+    }
+    RecoveryLevel::Correct
+}
+
+/// Checks the snapshot-checkable part of the safe set `𝒞_safe` (Lemma 6.1):
+///
+/// * (a) all agents are verifiers and the ranking is correct, and
+/// * (b') all `generation` fields take at most two *consecutive* values
+///   (mod 6) and every agent in the older generation has `probationTimer = 0`.
+///
+/// The full condition (b) additionally requires that the collision-detection
+/// sub-configuration is reachable from the clean sub-configuration, which
+/// cannot be decided from a single snapshot; configurations reached by the
+/// protocol itself satisfy it by construction (that is the content of
+/// Lemma 6.1), so this predicate is exact for protocol-generated
+/// configurations and conservative only for hand-crafted ones.
+pub fn satisfies_safe_shape(config: &Configuration<AgentState>) -> bool {
+    if !is_correct_output(config) {
+        return false;
+    }
+    let agents: Vec<(u8, u32)> = config
+        .iter()
+        .filter_map(|s| match s {
+            AgentState::Verifying(v) => Some((v.sv.generation, v.sv.probation_timer)),
+            _ => None,
+        })
+        .collect();
+    let mut generations: Vec<u8> = agents.iter().map(|&(g, _)| g).collect();
+    generations.sort_unstable();
+    generations.dedup();
+    match generations.len() {
+        1 => true,
+        2 => {
+            let (a, b) = (generations[0], generations[1]);
+            // The two generations must be consecutive mod 6; the older one is
+            // the predecessor.
+            let older = if (a + 1) % GENERATIONS == b {
+                a
+            } else if (b + 1) % GENERATIONS == a {
+                b
+            } else {
+                return false;
+            };
+            agents
+                .iter()
+                .filter(|&&(g, _)| g == older)
+                .all(|&(_, probation)| probation == 0)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elect_leader::ElectLeader;
+    use crate::state::ResetState;
+
+    fn protocol() -> ElectLeader {
+        ElectLeader::with_n_r(4, 2).unwrap()
+    }
+
+    fn verifier_config(p: &ElectLeader, ranks: &[u32]) -> Configuration<AgentState> {
+        Configuration::from_states(ranks.iter().map(|&r| p.verifier_state(r)).collect())
+    }
+
+    fn clear_probation(config: &mut Configuration<AgentState>) {
+        for s in config.iter_mut() {
+            if let AgentState::Verifying(v) = s {
+                v.sv.probation_timer = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn classify_walks_the_hierarchy() {
+        let p = protocol();
+
+        let mut c = verifier_config(&p, &[1, 2, 3, 4]);
+        c[0] = AgentState::Resetting(ResetState::triggered(p.params()));
+        assert_eq!(classify(&c), RecoveryLevel::HasResetters);
+
+        let mut c = verifier_config(&p, &[1, 2, 3, 4]);
+        c[0] = AgentState::fresh_ranker(p.params());
+        assert_eq!(classify(&c), RecoveryLevel::HasRankers);
+
+        let mut c = verifier_config(&p, &[1, 2, 3, 4]);
+        if let AgentState::Verifying(v) = &mut c[0] {
+            v.sv.generation = 3;
+        }
+        assert_eq!(classify(&c), RecoveryLevel::MixedGenerations);
+
+        let c = verifier_config(&p, &[1, 2, 3, 4]);
+        assert_eq!(classify(&c), RecoveryLevel::OnProbation);
+
+        let mut c = verifier_config(&p, &[1, 2, 2, 4]);
+        clear_probation(&mut c);
+        assert_eq!(classify(&c), RecoveryLevel::IncorrectRanking);
+
+        let mut c = verifier_config(&p, &[1, 2, 3, 4]);
+        clear_probation(&mut c);
+        assert_eq!(classify(&c), RecoveryLevel::Correct);
+    }
+
+    #[test]
+    fn levels_have_distinct_labels() {
+        use RecoveryLevel::*;
+        let labels: std::collections::HashSet<&str> = [
+            HasResetters,
+            HasRankers,
+            MixedGenerations,
+            OnProbation,
+            IncorrectRanking,
+            Correct,
+        ]
+        .into_iter()
+        .map(|l| l.label())
+        .collect();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn safe_shape_accepts_single_generation_correct_ranking() {
+        let p = protocol();
+        let c = verifier_config(&p, &[4, 3, 2, 1]);
+        assert!(satisfies_safe_shape(&c), "one generation, correct ranking");
+    }
+
+    #[test]
+    fn safe_shape_rejects_incorrect_ranking_and_non_verifiers() {
+        let p = protocol();
+        assert!(!satisfies_safe_shape(&verifier_config(&p, &[1, 2, 2, 4])));
+        let mut c = verifier_config(&p, &[1, 2, 3, 4]);
+        c[1] = AgentState::fresh_ranker(p.params());
+        assert!(!satisfies_safe_shape(&c));
+    }
+
+    #[test]
+    fn safe_shape_requires_old_generation_off_probation() {
+        let p = protocol();
+        let mut c = verifier_config(&p, &[1, 2, 3, 4]);
+        if let AgentState::Verifying(v) = &mut c[0] {
+            v.sv.generation = 1;
+        }
+        // Generation-0 agents still on probation: not safe.
+        assert!(!satisfies_safe_shape(&c));
+        for (i, s) in c.iter_mut().enumerate() {
+            if let AgentState::Verifying(v) = s {
+                if i != 0 {
+                    v.sv.probation_timer = 0;
+                }
+            }
+        }
+        assert!(satisfies_safe_shape(&c));
+    }
+
+    #[test]
+    fn safe_shape_rejects_generation_gap_or_three_generations() {
+        let p = protocol();
+        let mut c = verifier_config(&p, &[1, 2, 3, 4]);
+        clear_probation(&mut c);
+        if let AgentState::Verifying(v) = &mut c[0] {
+            v.sv.generation = 2;
+        }
+        assert!(!satisfies_safe_shape(&c), "gap of two generations");
+        if let AgentState::Verifying(v) = &mut c[1] {
+            v.sv.generation = 1;
+        }
+        assert!(!satisfies_safe_shape(&c), "three distinct generations");
+    }
+
+    #[test]
+    fn safe_shape_accepts_wraparound_generations() {
+        let p = protocol();
+        let mut c = verifier_config(&p, &[1, 2, 3, 4]);
+        for (i, s) in c.iter_mut().enumerate() {
+            if let AgentState::Verifying(v) = s {
+                if i < 2 {
+                    v.sv.generation = 5;
+                    v.sv.probation_timer = 0;
+                } else {
+                    v.sv.generation = 0;
+                }
+            }
+        }
+        assert!(satisfies_safe_shape(&c), "generations 5 and 0 are consecutive mod 6");
+    }
+}

@@ -1,0 +1,71 @@
+//! # ssle-core — `ElectLeader_r`: fast self-stabilizing leader election
+//!
+//! A faithful Rust implementation of the protocol from *"A Space-Time
+//! Trade-off for Fast Self-Stabilizing Leader Election in Population
+//! Protocols"* (PODC 2025), together with every sub-protocol it depends on.
+//!
+//! The protocol elects a leader among `n` anonymous agents by assigning a
+//! unique rank from `[n]` to every agent (the rank-1 agent is the leader) and
+//! is *self-stabilizing*: it reaches — and then never leaves — a correct
+//! configuration from **any** initial configuration. The trade-off parameter
+//! `r` (with `1 ≤ r ≤ n/2`) interpolates between state-frugal/slow
+//! (`r = O(1)`: `O(n² log n)` interactions, `poly(n)` states) and
+//! state-hungry/fast (`r = Θ(n)`: optimal `O(n log n)` interactions,
+//! `2^{O(n² log n)}` states).
+//!
+//! ## Architecture
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`params`] | `n`, `r`, and the protocol constants |
+//! | [`groups`] | the rank-space partition of Section 3.3 |
+//! | [`state`]  | the role-based state space of Fig. 1 |
+//! | [`reset`]  | `PropagateReset` (Appendix C) |
+//! | [`ranking`] | `AssignRanks_r` and `FastLeaderElect` (Appendix D) |
+//! | [`verify`] | `StableVerify_r` and `DetectCollision_r` (Section 5) |
+//! | [`elect_leader`] | the `ElectLeader_r` wrapper (Protocol 1) |
+//! | [`output`] | leader/ranking extraction and correctness predicates |
+//! | [`invariants`] | the recovery hierarchy `E₀ ⊃ … ⊃ E₅` and the safe set (Section 6) |
+//! | [`adversary`] | the catalog of adversarial initial configurations |
+//! | [`metrics`] | state-space (bit-complexity) accounting |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ppsim::{Configuration, Simulation, simulation::StabilizationOptions};
+//! use ssle_core::{output, ElectLeader};
+//!
+//! // A small instance: n = 16 agents, trade-off parameter r = 8.
+//! let protocol = ElectLeader::with_n_r(16, 8).expect("valid parameters");
+//! let config = Configuration::clean(&protocol);
+//! let mut sim = Simulation::new(protocol, config, 1);
+//! let result = sim.measure_stabilization(
+//!     output::is_correct_output,
+//!     StabilizationOptions::new(16, 3_000_000),
+//! );
+//! assert!(result.stabilized());
+//! assert!(output::has_unique_leader(sim.configuration()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod elect_leader;
+pub mod groups;
+pub mod invariants;
+pub mod metrics;
+pub mod output;
+pub mod params;
+pub mod ranking;
+pub mod reset;
+pub mod state;
+pub mod verify;
+
+pub use adversary::Scenario;
+pub use elect_leader::ElectLeader;
+pub use groups::GroupPartition;
+pub use invariants::{classify, satisfies_safe_shape, RecoveryLevel};
+pub use metrics::{measured_state_bytes, state_bits, StateBits};
+pub use params::{Constants, Params};
+pub use state::{AgentState, Role};

@@ -1,0 +1,239 @@
+//! Protocol parameters and tunable constants.
+//!
+//! `ElectLeader_r` is *strongly non-uniform*: the population size `n` and the
+//! trade-off parameter `r` are baked into the transition function, together
+//! with a handful of constants that the paper's analysis only fixes up to
+//! "sufficiently large" (`C_max`, `P_max`, `R_max`, `D_max`, `c_sleep`, …).
+//! [`Params`] collects all of them, supplies defaults matching the paper's
+//! asymptotic prescriptions, and validates the constraints of Theorem 1.1
+//! (`1 ≤ r ≤ n/2`).
+
+use ppsim::SimError;
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of `ElectLeader_r`.
+///
+/// Every field corresponds to a constant the paper leaves as "a sufficiently
+/// large constant"; the defaults were chosen so that the protocol stabilizes
+/// reliably at simulation scale while keeping running times practical. All
+/// timer lengths are expressed as multiples of the asymptotic term they scale
+/// (documented per field).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constants {
+    /// `C_max = c_countdown · (n/r) · ln n` — the ranker countdown forcing the
+    /// transition to the verifier role (Section 4).
+    pub c_countdown: f64,
+    /// `P_max = c_prob · (n/r) · ln n` — the probation timer deciding between
+    /// soft and hard resets (Section 5).
+    pub c_prob: f64,
+    /// `R_max = c_reset_count · ln n` — the reset epidemic counter of
+    /// `PropagateReset` (Appendix C; the paper uses `60 · log n`).
+    pub c_reset_count: f64,
+    /// `D_max = c_delay · ln n` — the dormancy delay timer of
+    /// `PropagateReset` (Appendix C).
+    pub c_delay: f64,
+    /// Sleep timer `c_sleep · ln n` used by `AssignRanks_r` (Appendix D).
+    pub c_sleep: f64,
+    /// Leader-election countdown `c_le · ln n` of `FastLeaderElect`
+    /// (Appendix D.2; the paper requires `c > 14`).
+    pub c_le: f64,
+    /// Signature refresh period `c_sig · ln m` of `DetectCollision_r`
+    /// (Section 5.1), where `m` is the group size.
+    pub c_sig: f64,
+    /// Label-pool blow-up `c_label > 1`: each deputy owns `⌈c_label · n / r⌉`
+    /// labels (Section 3.3 / Appendix D).
+    pub c_label: f64,
+}
+
+impl Default for Constants {
+    fn default() -> Self {
+        Constants {
+            c_countdown: 40.0,
+            c_prob: 20.0,
+            c_reset_count: 32.0,
+            c_delay: 48.0,
+            c_sleep: 6.0,
+            c_le: 20.0,
+            c_sig: 3.0,
+            c_label: 2.0,
+        }
+    }
+}
+
+/// The full parameter set of an `ElectLeader_r` instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Population size `n`.
+    pub n: usize,
+    /// Trade-off parameter `r`, `1 ≤ r ≤ n/2`.
+    pub r: usize,
+    /// The tunable constants.
+    pub constants: Constants,
+}
+
+impl Params {
+    /// Creates a validated parameter set with default constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameters`] if `n < 4` or `r` is outside
+    /// `1..=n/2`.
+    pub fn new(n: usize, r: usize) -> Result<Self, SimError> {
+        Self::with_constants(n, r, Constants::default())
+    }
+
+    /// Creates a validated parameter set with explicit constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameters`] if `n < 4`, `r` is outside
+    /// `1..=n/2`, or `c_label ≤ 1`.
+    pub fn with_constants(n: usize, r: usize, constants: Constants) -> Result<Self, SimError> {
+        if n < 4 {
+            return Err(SimError::InvalidParameters {
+                reason: format!("population size n = {n} must be at least 4"),
+            });
+        }
+        if r < 1 || r > n / 2 {
+            return Err(SimError::InvalidParameters {
+                reason: format!("trade-off parameter r = {r} must satisfy 1 <= r <= n/2 = {}", n / 2),
+            });
+        }
+        if constants.c_label <= 1.0 {
+            return Err(SimError::InvalidParameters {
+                reason: format!("label blow-up c_label = {} must exceed 1", constants.c_label),
+            });
+        }
+        Ok(Params { n, r, constants })
+    }
+
+    /// `ln n`, floored at 1 so timer lengths never vanish.
+    pub fn log_n(&self) -> f64 {
+        (self.n as f64).ln().max(1.0)
+    }
+
+    /// The ranker countdown `C_max = Θ((n/r) log n)`.
+    pub fn countdown_max(&self) -> u32 {
+        timer(self.constants.c_countdown * self.n as f64 / self.r as f64 * self.log_n())
+    }
+
+    /// The probation timer `P_max = c_prob · (n/r) · log n`.
+    pub fn probation_max(&self) -> u32 {
+        timer(self.constants.c_prob * self.n as f64 / self.r as f64 * self.log_n())
+    }
+
+    /// The reset counter `R_max = Θ(log n)` of `PropagateReset`.
+    pub fn reset_count_max(&self) -> u32 {
+        timer(self.constants.c_reset_count * self.log_n())
+    }
+
+    /// The dormancy delay `D_max = Θ(log n)` of `PropagateReset`.
+    pub fn delay_max(&self) -> u32 {
+        timer(self.constants.c_delay * self.log_n())
+    }
+
+    /// The sleep timer bound `c_sleep · log n` of `AssignRanks_r`.
+    pub fn sleep_max(&self) -> u32 {
+        timer(self.constants.c_sleep * self.log_n())
+    }
+
+    /// The leader-election countdown of `FastLeaderElect`.
+    pub fn le_count_max(&self) -> u32 {
+        timer(self.constants.c_le * self.log_n())
+    }
+
+    /// The identifier space `[n³]` of `FastLeaderElect`.
+    pub fn identifier_space(&self) -> u64 {
+        (self.n as u64).pow(3)
+    }
+
+    /// Labels per deputy: `⌈c_label · n / r⌉`.
+    pub fn labels_per_deputy(&self) -> u32 {
+        (self.constants.c_label * self.n as f64 / self.r as f64).ceil() as u32
+    }
+
+    /// Signature refresh period for a group of size `m`: `max(2, ⌈c_sig · ln m⌉)`.
+    pub fn signature_period(&self, group_size: usize) -> u32 {
+        timer(self.constants.c_sig * (group_size as f64).ln().max(1.0)).max(2)
+    }
+
+    /// Signature space for a group of size `m`: `max(m⁵, 2)`.
+    pub fn signature_space(&self, group_size: usize) -> u64 {
+        (group_size as u64).pow(5).max(2)
+    }
+
+    /// Number of message IDs governed by each rank of a group of size `m`:
+    /// `2m²` (Section 5.1).
+    pub fn message_ids_per_rank(&self, group_size: usize) -> u32 {
+        2 * (group_size as u32).pow(2)
+    }
+
+    /// The budget the experiment harness uses for stabilization runs:
+    /// a generous multiple of the paper's `O(n²/r · log n)` bound.
+    pub fn suggested_budget(&self) -> u64 {
+        let nf = self.n as f64;
+        let bound = nf * nf / self.r as f64 * self.log_n();
+        (400.0 * bound).ceil() as u64 + 200_000
+    }
+}
+
+fn timer(value: f64) -> u32 {
+    value.ceil().max(1.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_parameters_accepted() {
+        let p = Params::new(64, 8).unwrap();
+        assert_eq!(p.n, 64);
+        assert_eq!(p.r, 8);
+        assert!(p.countdown_max() > p.probation_max() / 4);
+    }
+
+    #[test]
+    fn invalid_r_rejected() {
+        assert!(Params::new(64, 0).is_err());
+        assert!(Params::new(64, 33).is_err());
+        assert!(Params::new(64, 32).is_ok());
+        assert!(Params::new(3, 1).is_err());
+    }
+
+    #[test]
+    fn invalid_label_blowup_rejected() {
+        let mut c = Constants::default();
+        c.c_label = 1.0;
+        assert!(Params::with_constants(64, 8, c).is_err());
+    }
+
+    #[test]
+    fn timers_scale_with_n_over_r() {
+        let small_r = Params::new(128, 2).unwrap();
+        let large_r = Params::new(128, 64).unwrap();
+        assert!(small_r.countdown_max() > large_r.countdown_max());
+        assert!(small_r.probation_max() > large_r.probation_max());
+        // Reset/delay timers only depend on n.
+        assert_eq!(small_r.reset_count_max(), large_r.reset_count_max());
+        assert_eq!(small_r.delay_max(), large_r.delay_max());
+    }
+
+    #[test]
+    fn signature_and_message_sizing() {
+        let p = Params::new(64, 8).unwrap();
+        assert_eq!(p.signature_space(4), 1024);
+        assert_eq!(p.signature_space(1), 2);
+        assert_eq!(p.message_ids_per_rank(4), 32);
+        assert!(p.signature_period(1) >= 2);
+        assert_eq!(p.identifier_space(), 64u64.pow(3));
+        assert!(p.labels_per_deputy() as usize * p.r >= p.n + 1);
+    }
+
+    #[test]
+    fn suggested_budget_is_monotone_in_n() {
+        let a = Params::new(32, 4).unwrap().suggested_budget();
+        let b = Params::new(128, 4).unwrap().suggested_budget();
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,168 @@
+//! `FastLeaderElect` (Appendix D.2): non-self-stabilizing leader election
+//! from an awakening configuration, used by `AssignRanks_r` to nominate the
+//! sheriff.
+//!
+//! Every agent draws an identifier (almost) uniformly from `[n³]` on its
+//! first activation, the minimum identifier spreads by a two-way epidemic,
+//! and after `Θ(log n)` of its own interactions each agent decides: it is the
+//! leader (the sheriff-to-be) exactly if its own identifier equals the
+//! minimum it has seen.
+
+use crate::params::Params;
+use ppsim::InteractionCtx;
+use serde::{Deserialize, Serialize};
+
+/// The `FastLeaderElect` per-agent state (Fig. 4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaderElectionState {
+    /// The identifier drawn on first activation (`None` until drawn).
+    pub identifier: Option<u64>,
+    /// The minimum identifier observed so far.
+    pub min_identifier: u64,
+    /// Remaining interactions before the agent decides (`LECount`).
+    pub le_count: u32,
+    /// Whether the agent has decided (`LeaderDone`).
+    pub leader_done: bool,
+    /// Whether the agent decided it is the leader (`LeaderBit`).
+    pub leader_bit: bool,
+}
+
+impl LeaderElectionState {
+    /// The state of an agent that has not yet been activated.
+    pub fn fresh(params: &Params) -> Self {
+        LeaderElectionState {
+            identifier: None,
+            min_identifier: u64::MAX,
+            le_count: params.le_count_max(),
+            leader_done: false,
+            leader_bit: false,
+        }
+    }
+
+    /// Ensures the identifier has been drawn (first activation).
+    pub fn ensure_identifier(&mut self, params: &Params, ctx: &mut InteractionCtx<'_>) {
+        if self.identifier.is_none() {
+            let id = 1 + ctx.sample_below(params.identifier_space());
+            self.identifier = Some(id);
+            self.min_identifier = self.min_identifier.min(id);
+        }
+    }
+}
+
+/// One `FastLeaderElect` interaction between two agents still in leader
+/// election: draw identifiers if needed, exchange minima, advance the
+/// countdowns, and decide when a countdown expires.
+pub fn leader_election_step(
+    params: &Params,
+    u: &mut LeaderElectionState,
+    v: &mut LeaderElectionState,
+    ctx: &mut InteractionCtx<'_>,
+) {
+    u.ensure_identifier(params, ctx);
+    v.ensure_identifier(params, ctx);
+
+    let min = u.min_identifier.min(v.min_identifier);
+    u.min_identifier = min;
+    v.min_identifier = min;
+
+    for state in [&mut *u, &mut *v] {
+        if state.leader_done {
+            continue;
+        }
+        state.le_count = state.le_count.saturating_sub(1);
+        if state.le_count == 0 {
+            state.leader_done = true;
+            state.leader_bit = state.identifier == Some(state.min_identifier);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::SimRng;
+
+    fn ctx_with(seed: u64) -> (SimRng, u64) {
+        (SimRng::seed_from_u64(seed), 0)
+    }
+
+    #[test]
+    fn fresh_state_has_no_identifier() {
+        let params = Params::new(16, 4).unwrap();
+        let s = LeaderElectionState::fresh(&params);
+        assert!(s.identifier.is_none());
+        assert!(!s.leader_done);
+        assert_eq!(s.le_count, params.le_count_max());
+    }
+
+    #[test]
+    fn identifiers_are_drawn_once_and_in_range() {
+        let params = Params::new(16, 4).unwrap();
+        let (mut rng, _) = ctx_with(1);
+        let mut ctx = InteractionCtx::new(&mut rng, 0);
+        let mut s = LeaderElectionState::fresh(&params);
+        s.ensure_identifier(&params, &mut ctx);
+        let id = s.identifier.unwrap();
+        assert!(id >= 1 && id <= params.identifier_space());
+        assert_eq!(s.min_identifier, id);
+        s.ensure_identifier(&params, &mut ctx);
+        assert_eq!(s.identifier, Some(id), "identifier is drawn only once");
+    }
+
+    #[test]
+    fn minimum_propagates_and_unique_leader_emerges() {
+        let params = Params::new(8, 4).unwrap();
+        let n = 8usize;
+        let mut states: Vec<LeaderElectionState> =
+            (0..n).map(|_| LeaderElectionState::fresh(&params)).collect();
+        let mut rng = SimRng::seed_from_u64(7);
+        use rand::RngCore;
+        for step in 0..20_000u64 {
+            let i = (rng.next_u64() % n as u64) as usize;
+            let mut j = (rng.next_u64() % (n as u64 - 1)) as usize;
+            if j >= i {
+                j += 1;
+            }
+            if states.iter().all(|s| s.leader_done) {
+                break;
+            }
+            let (a, b) = if i < j {
+                let (l, r) = states.split_at_mut(j);
+                (&mut l[i], &mut r[0])
+            } else {
+                let (l, r) = states.split_at_mut(i);
+                (&mut r[0], &mut l[j])
+            };
+            let mut ctx = InteractionCtx::new(&mut rng, step);
+            leader_election_step(&params, a, b, &mut ctx);
+        }
+        assert!(states.iter().all(|s| s.leader_done));
+        let leaders = states.iter().filter(|s| s.leader_bit).count();
+        assert_eq!(leaders, 1, "exactly one agent should declare itself leader");
+        // The leader holds the global minimum identifier.
+        let min = states.iter().map(|s| s.identifier.unwrap()).min().unwrap();
+        let leader = states.iter().find(|s| s.leader_bit).unwrap();
+        assert_eq!(leader.identifier, Some(min));
+    }
+
+    #[test]
+    fn countdown_expiry_without_minimum_makes_a_false_leader() {
+        // If an agent never hears about a smaller identifier before its
+        // countdown runs out it declares itself leader — this is the low
+        // probability failure mode the outer protocol recovers from.
+        let params = Params::new(16, 4).unwrap();
+        let mut a = LeaderElectionState::fresh(&params);
+        let mut b = LeaderElectionState::fresh(&params);
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut ctx = InteractionCtx::new(&mut rng, 0);
+        a.ensure_identifier(&params, &mut ctx);
+        b.ensure_identifier(&params, &mut ctx);
+        // Force both to decide immediately against only each other.
+        a.le_count = 1;
+        b.le_count = 1;
+        leader_election_step(&params, &mut a, &mut b, &mut ctx);
+        assert!(a.leader_done && b.leader_done);
+        let leaders = usize::from(a.leader_bit) + usize::from(b.leader_bit);
+        assert_eq!(leaders, 1, "between two agents the smaller identifier wins");
+    }
+}

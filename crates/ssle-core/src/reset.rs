@@ -1,0 +1,235 @@
+//! `PropagateReset` (Appendix C, Protocols 4–6): the hard-reset mechanism of
+//! Burman, Chen, Chen, Doty, Nowak, Severson, and Xu (PODC'21), used here as
+//! a black box.
+//!
+//! Triggering a reset (Protocol 5) turns an agent into a *resetter* with a
+//! full `reset_count`. While that counter is positive the resetter infects
+//! every computing agent it meets; the counter decreases in every interaction
+//! between two resetters, so within `O(n log n)` interactions the whole
+//! population is *dormant* (all resetters, all counters zero). Dormant agents
+//! wait out a `delay_timer` and then restart as fresh rankers (Protocol 6);
+//! restarted (computing) agents wake the remaining dormant agents by
+//! epidemic.
+
+use crate::params::Params;
+use crate::state::{AgentState, ResetState};
+
+/// Protocol 5: `TriggerReset` — turn the agent into a propagating resetter.
+pub fn trigger_reset(params: &Params, agent: &mut AgentState) {
+    *agent = AgentState::Resetting(ResetState::triggered(params));
+}
+
+/// Protocol 6: `Reset` — re-initialize the agent as a fresh ranker.
+pub fn reset(params: &Params, agent: &mut AgentState) {
+    *agent = AgentState::fresh_ranker(params);
+}
+
+/// Protocol 4: one `PropagateReset` interaction. Called whenever at least one
+/// of the two agents is a resetter.
+pub fn propagate_reset(params: &Params, u: &mut AgentState, v: &mut AgentState) {
+    // Lines 1–2: a propagating resetter infects a computing partner.
+    infect(params, u, v);
+    infect(params, v, u);
+
+    // Lines 3–4: two resetters synchronise and decrement their counters.
+    let mut just_became_zero = [false, false];
+    if u.is_resetting() && v.is_resetting() {
+        let (u_rc, v_rc) = (reset_count(u), reset_count(v));
+        let new = u_rc.saturating_sub(1).max(v_rc.saturating_sub(1));
+        just_became_zero = [u_rc > 0 && new == 0, v_rc > 0 && new == 0];
+        set_reset_count(u, new);
+        set_reset_count(v, new);
+    }
+
+    // Lines 5–11: dormant agents wait out their delay and eventually restart.
+    step_dormant(params, u, v.is_resetting(), just_became_zero[0]);
+    step_dormant(params, v, u.is_resetting(), just_became_zero[1]);
+}
+
+fn infect(params: &Params, resetter: &AgentState, other: &mut AgentState) {
+    if let AgentState::Resetting(r) = resetter {
+        if r.reset_count > 0 && !other.is_resetting() {
+            *other = AgentState::Resetting(ResetState::infected(params));
+        }
+    }
+}
+
+fn reset_count(agent: &AgentState) -> u32 {
+    match agent {
+        AgentState::Resetting(r) => r.reset_count,
+        _ => 0,
+    }
+}
+
+fn set_reset_count(agent: &mut AgentState, value: u32) {
+    if let AgentState::Resetting(r) = agent {
+        r.reset_count = value;
+    }
+}
+
+/// Lines 5–11 of Protocol 4 for a single agent `i` whose partner currently
+/// has role `Resetting` iff `partner_resetting`.
+fn step_dormant(
+    params: &Params,
+    agent: &mut AgentState,
+    partner_resetting: bool,
+    just_became_zero: bool,
+) {
+    let restart = match agent {
+        AgentState::Resetting(r) if r.reset_count == 0 => {
+            if just_became_zero {
+                r.delay_timer = params.delay_max();
+            } else {
+                r.delay_timer = r.delay_timer.saturating_sub(1);
+            }
+            r.delay_timer == 0 || !partner_resetting
+        }
+        _ => false,
+    };
+    if restart {
+        reset(params, agent);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::SimRng;
+    use rand::RngCore;
+
+    fn params() -> Params {
+        Params::new(32, 8).unwrap()
+    }
+
+    #[test]
+    fn trigger_reset_creates_propagating_resetter() {
+        let p = params();
+        let mut agent = AgentState::fresh_ranker(&p);
+        trigger_reset(&p, &mut agent);
+        match agent {
+            AgentState::Resetting(r) => {
+                assert_eq!(r.reset_count, p.reset_count_max());
+                assert_eq!(r.delay_timer, p.delay_max());
+            }
+            _ => panic!("expected a resetter"),
+        }
+    }
+
+    #[test]
+    fn propagating_resetter_infects_computing_agent() {
+        let p = params();
+        let mut u = AgentState::Resetting(ResetState::triggered(&p));
+        let mut v = AgentState::fresh_ranker(&p);
+        propagate_reset(&p, &mut u, &mut v);
+        assert!(v.is_resetting(), "the ranker must be infected");
+        assert_eq!(reset_count(&v), reset_count(&u), "counters synchronise");
+    }
+
+    #[test]
+    fn dormant_resetter_does_not_infect() {
+        let p = params();
+        let mut u = AgentState::Resetting(ResetState::infected(&p));
+        let mut v = AgentState::fresh_ranker(&p);
+        let v_before = v.clone();
+        propagate_reset(&p, &mut u, &mut v);
+        assert_eq!(v, v_before, "a dormant resetter never infects");
+        // Instead, the dormant agent is woken by the computing partner.
+        assert!(u.is_ranking(), "meeting a computing agent restarts the dormant agent");
+    }
+
+    #[test]
+    fn counters_decrease_and_delay_starts_when_they_hit_zero() {
+        let p = params();
+        let mut u = AgentState::Resetting(ResetState {
+            reset_count: 1,
+            delay_timer: 3,
+        });
+        let mut v = AgentState::Resetting(ResetState {
+            reset_count: 1,
+            delay_timer: 3,
+        });
+        propagate_reset(&p, &mut u, &mut v);
+        for agent in [&u, &v] {
+            match agent {
+                AgentState::Resetting(r) => {
+                    assert_eq!(r.reset_count, 0);
+                    assert_eq!(
+                        r.delay_timer,
+                        p.delay_max(),
+                        "delay restarts the moment the counter hits zero"
+                    );
+                }
+                _ => panic!("agents should still be resetting"),
+            }
+        }
+    }
+
+    #[test]
+    fn dormant_agents_count_down_and_restart() {
+        let p = params();
+        let mut u = AgentState::Resetting(ResetState {
+            reset_count: 0,
+            delay_timer: 2,
+        });
+        let mut v = AgentState::Resetting(ResetState {
+            reset_count: 0,
+            delay_timer: 5,
+        });
+        propagate_reset(&p, &mut u, &mut v);
+        match (&u, &v) {
+            (AgentState::Resetting(a), AgentState::Resetting(b)) => {
+                assert_eq!(a.delay_timer, 1);
+                assert_eq!(b.delay_timer, 4);
+            }
+            _ => panic!("both should still be dormant"),
+        }
+        propagate_reset(&p, &mut u, &mut v);
+        assert!(u.is_ranking(), "u's delay hit zero, so it restarts");
+    }
+
+    #[test]
+    fn full_reset_epidemic_reaches_dormancy_then_awakening() {
+        // Trigger a reset at one agent of a computing population and check
+        // the Appendix C milestones: full dormancy, then awakening, then all
+        // agents computing again.
+        let p = Params::new(64, 8).unwrap();
+        let n = p.n;
+        let mut states: Vec<AgentState> = (0..n).map(|_| AgentState::fresh_ranker(&p)).collect();
+        trigger_reset(&p, &mut states[0]);
+
+        let mut rng = SimRng::seed_from_u64(13);
+        let mut saw_fully_dormant = false;
+        let mut all_computing_after_dormant = false;
+        let budget = 2_000_000u64;
+        for _ in 0..budget {
+            let i = (rng.next_u64() % n as u64) as usize;
+            let mut j = (rng.next_u64() % (n as u64 - 1)) as usize;
+            if j >= i {
+                j += 1;
+            }
+            if states[i].is_resetting() || states[j].is_resetting() {
+                let (a, b) = if i < j {
+                    let (l, r) = states.split_at_mut(j);
+                    (&mut l[i], &mut r[0])
+                } else {
+                    let (l, r) = states.split_at_mut(i);
+                    (&mut r[0], &mut l[j])
+                };
+                propagate_reset(&p, a, b);
+            }
+            if !saw_fully_dormant && states.iter().all(|s| s.is_dormant()) {
+                saw_fully_dormant = true;
+            }
+            if saw_fully_dormant && states.iter().all(|s| s.is_computing()) {
+                all_computing_after_dormant = true;
+                break;
+            }
+        }
+        assert!(saw_fully_dormant, "the population must pass through full dormancy");
+        assert!(
+            all_computing_after_dormant,
+            "after dormancy every agent must restart as a ranker"
+        );
+        assert!(states.iter().all(|s| s.is_ranking()));
+    }
+}

@@ -1,0 +1,203 @@
+//! The top-level state space of `ElectLeader_r` (Section 4, Fig. 1).
+//!
+//! Every agent is in exactly one of three roles; each role activates a
+//! different set of fields (the inactive fields are dropped, mirroring the
+//! disjoint-union structure of the paper's state space):
+//!
+//! * **Resetting** — executing `PropagateReset` (Appendix C),
+//! * **Ranking** — executing `AssignRanks_r` (Appendix D) plus the global
+//!   `countdown` that forces the eventual transition to verifying,
+//! * **Verifying** — holding a committed `rank` and executing
+//!   `StableVerify_r` (Section 5).
+
+use crate::params::Params;
+use crate::ranking::RankState;
+use crate::verify::VerifyState;
+use serde::{Deserialize, Serialize};
+
+/// The role of an agent (the `role` field of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Executing `PropagateReset`.
+    Resetting,
+    /// Executing `AssignRanks_r`.
+    Ranking,
+    /// Executing `StableVerify_r`.
+    Verifying,
+}
+
+/// The `PropagateReset` fields of a resetting agent (Appendix C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResetState {
+    /// While positive the agent keeps infecting computing agents; decremented
+    /// every interaction with another resetter.
+    pub reset_count: u32,
+    /// Once `reset_count` hits zero the agent is *dormant* and waits this
+    /// many interactions before it starts computing again.
+    pub delay_timer: u32,
+}
+
+impl ResetState {
+    /// The state created by `TriggerReset` (Protocol 5).
+    pub fn triggered(params: &Params) -> Self {
+        ResetState {
+            reset_count: params.reset_count_max(),
+            delay_timer: params.delay_max(),
+        }
+    }
+
+    /// The state of an agent that was infected by a resetter (Protocol 4,
+    /// line 2): it does not itself propagate the reset (`reset_count = 0`)
+    /// but waits out the full delay.
+    pub fn infected(params: &Params) -> Self {
+        ResetState {
+            reset_count: 0,
+            delay_timer: params.delay_max(),
+        }
+    }
+
+    /// Whether the agent is dormant (finished propagating, waiting to
+    /// restart).
+    pub fn is_dormant(&self) -> bool {
+        self.reset_count == 0
+    }
+}
+
+/// A ranking agent: the `AssignRanks_r` state plus the countdown that bounds
+/// how long the agent may remain a ranker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankingAgent {
+    /// The `AssignRanks_r` sub-state (`qAR`).
+    pub qar: RankState,
+    /// Interactions left before the agent is forced to become a verifier.
+    pub countdown: u32,
+}
+
+/// A verifying agent: its committed rank plus the `StableVerify_r` state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifyingAgent {
+    /// The rank the agent committed to when it became a verifier.
+    pub rank: u32,
+    /// The `StableVerify_r` sub-state (`qSV`).
+    pub sv: VerifyState,
+}
+
+/// The complete per-agent state of `ElectLeader_r`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgentState {
+    /// Executing `PropagateReset`.
+    Resetting(ResetState),
+    /// Executing `AssignRanks_r`.
+    Ranking(RankingAgent),
+    /// Executing `StableVerify_r`.
+    Verifying(VerifyingAgent),
+}
+
+impl AgentState {
+    /// The agent's role.
+    pub fn role(&self) -> Role {
+        match self {
+            AgentState::Resetting(_) => Role::Resetting,
+            AgentState::Ranking(_) => Role::Ranking,
+            AgentState::Verifying(_) => Role::Verifying,
+        }
+    }
+
+    /// The state produced by the `Reset` routine (Protocol 6): a fresh ranker
+    /// with a full countdown.
+    pub fn fresh_ranker(params: &Params) -> Self {
+        AgentState::Ranking(RankingAgent {
+            qar: RankState::initial(params),
+            countdown: params.countdown_max(),
+        })
+    }
+
+    /// Whether the agent is a resetter.
+    pub fn is_resetting(&self) -> bool {
+        matches!(self, AgentState::Resetting(_))
+    }
+
+    /// Whether the agent is a ranker.
+    pub fn is_ranking(&self) -> bool {
+        matches!(self, AgentState::Ranking(_))
+    }
+
+    /// Whether the agent is a verifier.
+    pub fn is_verifying(&self) -> bool {
+        matches!(self, AgentState::Verifying(_))
+    }
+
+    /// Whether the agent is *computing* (not resetting), in the terminology
+    /// of Appendix C.
+    pub fn is_computing(&self) -> bool {
+        !self.is_resetting()
+    }
+
+    /// Whether the agent is a dormant resetter.
+    pub fn is_dormant(&self) -> bool {
+        matches!(self, AgentState::Resetting(r) if r.is_dormant())
+    }
+
+    /// The rank a verifier has committed to, if the agent is a verifier.
+    pub fn verified_rank(&self) -> Option<u32> {
+        match self {
+            AgentState::Verifying(v) => Some(v.rank),
+            _ => None,
+        }
+    }
+
+    /// The rank the agent currently outputs: verifiers output their committed
+    /// rank, rankers output the rank their `AssignRanks_r` state currently
+    /// believes, resetters output nothing.
+    pub fn output_rank(&self) -> Option<u32> {
+        match self {
+            AgentState::Verifying(v) => Some(v.rank),
+            AgentState::Ranking(r) => Some(r.qar.rank),
+            AgentState::Resetting(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_and_predicates() {
+        let params = Params::new(16, 4).unwrap();
+        let reset = AgentState::Resetting(ResetState::triggered(&params));
+        let ranker = AgentState::fresh_ranker(&params);
+        assert_eq!(reset.role(), Role::Resetting);
+        assert_eq!(ranker.role(), Role::Ranking);
+        assert!(reset.is_resetting() && !reset.is_computing());
+        assert!(ranker.is_ranking() && ranker.is_computing());
+        assert!(!reset.is_dormant(), "a triggered resetter still propagates");
+        assert_eq!(reset.output_rank(), None);
+        assert_eq!(ranker.output_rank(), Some(1));
+        assert_eq!(ranker.verified_rank(), None);
+    }
+
+    #[test]
+    fn triggered_and_infected_reset_states() {
+        let params = Params::new(16, 4).unwrap();
+        let t = ResetState::triggered(&params);
+        assert_eq!(t.reset_count, params.reset_count_max());
+        assert!(!t.is_dormant());
+        let i = ResetState::infected(&params);
+        assert_eq!(i.reset_count, 0);
+        assert!(i.is_dormant());
+        assert_eq!(i.delay_timer, params.delay_max());
+    }
+
+    #[test]
+    fn fresh_ranker_has_full_countdown() {
+        let params = Params::new(16, 4).unwrap();
+        match AgentState::fresh_ranker(&params) {
+            AgentState::Ranking(r) => {
+                assert_eq!(r.countdown, params.countdown_max());
+                assert!(!r.qar.is_ranked());
+            }
+            _ => panic!("fresh ranker must be in the Ranking role"),
+        }
+    }
+}

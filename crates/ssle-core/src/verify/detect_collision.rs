@@ -1,0 +1,489 @@
+//! `DetectCollision_r` (Section 5.1, Protocols 3 and 12–14).
+//!
+//! The collision-detection sub-protocol amplifies the number of objects
+//! between which a collision can be observed: instead of waiting for two
+//! same-rank agents to meet directly (which takes `Ω(n)` time), each rank
+//! governs a large pool of circulating messages whose contents only that
+//! rank's agents may rewrite — and always rewrite to their current
+//! *signature*. If two agents share a rank, one of them eventually rewrites a
+//! message to a signature the other never recorded; the moment the other sees
+//! that message, the mismatch with its `observations` array proves the
+//! collision and it raises the error state `⊤`.
+//!
+//! Interactions between agents whose ranks fall in different groups of the
+//! rank-space partition are ignored, which is what produces the space–time
+//! trade-off (Section 3.3).
+
+use crate::groups::GroupPartition;
+use crate::params::Params;
+use crate::verify::messages::{Message, MessageStore, Observations, INITIAL_CONTENT};
+use ppsim::InteractionCtx;
+use serde::{Deserialize, Serialize};
+
+/// The non-error per-agent state of `DetectCollision_r` (Fig. 3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollisionState {
+    /// The signature currently used as content for this agent's own messages,
+    /// drawn (almost) uniformly from `[1, m⁵]`.
+    pub signature: u64,
+    /// Interaction counter; when it reaches the signature period the
+    /// signature is resampled.
+    pub counter: u32,
+    /// Circulating messages currently held.
+    pub msgs: MessageStore,
+    /// Contents last written into this agent's own messages, indexed by ID.
+    pub observations: Observations,
+}
+
+/// The per-agent state of `DetectCollision_r`: either the error state `⊤` or
+/// an active [`CollisionState`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectCollisionState {
+    /// The error state `⊤`: a collision (or an inconsistent message system)
+    /// was observed.
+    Error,
+    /// Normal operation.
+    Active(CollisionState),
+}
+
+impl DetectCollisionState {
+    /// Whether this is the error state `⊤`.
+    pub fn is_error(&self) -> bool {
+        matches!(self, DetectCollisionState::Error)
+    }
+
+    /// The active state, if not `⊤`.
+    pub fn active(&self) -> Option<&CollisionState> {
+        match self {
+            DetectCollisionState::Active(s) => Some(s),
+            DetectCollisionState::Error => None,
+        }
+    }
+
+    /// Mutable access to the active state, if not `⊤`.
+    pub fn active_mut(&mut self) -> Option<&mut CollisionState> {
+        match self {
+            DetectCollisionState::Active(s) => Some(s),
+            DetectCollisionState::Error => None,
+        }
+    }
+}
+
+/// Builds the initial state `q_{0,DC}` for an agent of the given rank
+/// (Section 5.1): signature and counter 1, all observations
+/// [`INITIAL_CONTENT`], and the contiguous block of message IDs determined by
+/// the rank's position within its group, for every governing rank of the
+/// group.
+pub fn initial_state(params: &Params, partition: &GroupPartition, rank: u32) -> DetectCollisionState {
+    let m = partition.group_size_of(rank);
+    let ids = params.message_ids_per_rank(m);
+    let position = partition.position_in_group(rank);
+    DetectCollisionState::Active(CollisionState {
+        signature: INITIAL_CONTENT,
+        counter: 1,
+        msgs: MessageStore::initial(m, ids, position),
+        observations: Observations::initial(ids),
+    })
+}
+
+/// Protocol 3: one `DetectCollision_r` interaction between the (read-only)
+/// ranked agents `u` and `v`.
+///
+/// May set either or both collision states to [`DetectCollisionState::Error`];
+/// the caller (`StableVerify_r`) decides how to react.
+pub fn detect_collision(
+    params: &Params,
+    partition: &GroupPartition,
+    u_rank: u32,
+    u_dc: &mut DetectCollisionState,
+    v_rank: u32,
+    v_dc: &mut DetectCollisionState,
+    ctx: &mut InteractionCtx<'_>,
+) {
+    // Line 1–2: only same-group agents have non-trivial interactions.
+    if !partition.same_group(u_rank, v_rank) {
+        return;
+    }
+    // A pre-existing ⊤ is handled by the wrapper; nothing to do here.
+    if u_dc.is_error() || v_dc.is_error() {
+        return;
+    }
+
+    // Line 3–4: shared rank or two copies of the same circulating message is
+    // an immediate, obvious collision.
+    let obvious = {
+        let (u, v) = (u_dc.active().expect("checked"), v_dc.active().expect("checked"));
+        u_rank == v_rank || u.msgs.shares_message_with(&v.msgs)
+    };
+    if obvious {
+        *u_dc = DetectCollisionState::Error;
+        *v_dc = DetectCollisionState::Error;
+        return;
+    }
+
+    // Line 5: CheckMessageConsistency both ways (may raise the error).
+    let inconsistent = {
+        let (u, v) = (u_dc.active().expect("checked"), v_dc.active().expect("checked"));
+        check_message_consistency(partition, u_rank, u, v)
+            || check_message_consistency(partition, v_rank, v, u)
+    };
+    if inconsistent {
+        *u_dc = DetectCollisionState::Error;
+        *v_dc = DetectCollisionState::Error;
+        return;
+    }
+
+    // Lines 6–7: refresh signatures / message contents, then load-balance.
+    {
+        let (u_slot, v_slot) = (&mut *u_dc, &mut *v_dc);
+        let (u, v) = match (u_slot, v_slot) {
+            (DetectCollisionState::Active(u), DetectCollisionState::Active(v)) => (u, v),
+            _ => unreachable!("both states are active at this point"),
+        };
+        update_messages(params, partition, u_rank, u, v, ctx);
+        update_messages(params, partition, v_rank, v, u, ctx);
+        let m = partition.group_size_of(u_rank);
+        balance_load(u, v, m);
+    }
+}
+
+/// Protocol 12: does `other` hold a message governed by `owner_rank` whose
+/// content differs from what the owner recorded in its observations?
+pub fn check_message_consistency(
+    partition: &GroupPartition,
+    owner_rank: u32,
+    owner: &CollisionState,
+    other: &CollisionState,
+) -> bool {
+    let governor = partition.position_in_group(owner_rank);
+    other
+        .msgs
+        .messages_for(governor)
+        .iter()
+        .any(|msg| msg.content != owner.observations.get(msg.id))
+}
+
+/// Protocol 13: advance the owner's signature counter (resampling the
+/// signature when it expires) and rewrite all messages governed by the owner
+/// held by either agent to the owner's current signature, recording the new
+/// contents in the owner's observations.
+pub fn update_messages(
+    params: &Params,
+    partition: &GroupPartition,
+    owner_rank: u32,
+    owner: &mut CollisionState,
+    other: &mut CollisionState,
+    ctx: &mut InteractionCtx<'_>,
+) {
+    let m = partition.group_size_of(owner_rank);
+    let governor = partition.position_in_group(owner_rank);
+
+    // Lines 1–4: counter / signature refresh.
+    owner.counter = owner.counter.saturating_add(1);
+    if owner.counter >= params.signature_period(m) {
+        owner.signature = 1 + ctx.sample_below(params.signature_space(m));
+        owner.counter = 1;
+        // Lines 5–8: rewrite the owner's own held messages to the new
+        // signature and record the observations.
+        let signature = owner.signature;
+        for msg in owner.msgs.messages_for_mut(governor) {
+            msg.content = signature;
+        }
+        for msg in owner.msgs.messages_for(governor).to_vec() {
+            owner.observations.set(msg.id, signature);
+        }
+    }
+
+    // Lines 9–12: rewrite the partner's messages governed by the owner.
+    let signature = owner.signature;
+    let mut touched: Vec<u32> = Vec::new();
+    for msg in other.msgs.messages_for_mut(governor) {
+        msg.content = signature;
+        touched.push(msg.id);
+    }
+    for id in touched {
+        owner.observations.set(id, signature);
+    }
+}
+
+/// Protocol 14: redistribute the messages held by the two agents so that for
+/// every `(governing rank, content)` pair each agent ends up with half of the
+/// messages (±1), the agent currently holding more messages overall receiving
+/// the smaller half.
+pub fn balance_load(u: &mut CollisionState, v: &mut CollisionState, group_size: usize) {
+    let mut u_new: Vec<Vec<Message>> = vec![Vec::new(); group_size];
+    let mut v_new: Vec<Vec<Message>> = vec![Vec::new(); group_size];
+    let mut u_assigned = 0usize;
+    let mut v_assigned = 0usize;
+
+    for governor in 0..group_size {
+        // Combine both agents' messages for this governor. IDs are disjoint:
+        // a shared ID would have been caught as an obvious collision before
+        // load balancing runs.
+        let mut combined: Vec<Message> = Vec::with_capacity(
+            u.msgs.count_for(governor) + v.msgs.count_for(governor),
+        );
+        combined.extend_from_slice(u.msgs.messages_for(governor));
+        combined.extend_from_slice(v.msgs.messages_for(governor));
+        combined.sort_by_key(|m| (m.content, m.id));
+
+        let mut idx = 0;
+        while idx < combined.len() {
+            // One run of equal content.
+            let content = combined[idx].content;
+            let mut end = idx;
+            while end < combined.len() && combined[end].content == content {
+                end += 1;
+            }
+            let run = &combined[idx..end];
+            let floor_len = run.len() / 2;
+            let (floor_ids, ceil_ids) = run.split_at(floor_len);
+            // The agent holding more messages so far receives the smaller
+            // (floor) half.
+            if u_assigned > v_assigned {
+                u_new[governor].extend_from_slice(floor_ids);
+                v_new[governor].extend_from_slice(ceil_ids);
+                u_assigned += floor_ids.len();
+                v_assigned += ceil_ids.len();
+            } else {
+                v_new[governor].extend_from_slice(floor_ids);
+                u_new[governor].extend_from_slice(ceil_ids);
+                v_assigned += floor_ids.len();
+                u_assigned += ceil_ids.len();
+            }
+            idx = end;
+        }
+    }
+
+    for governor in 0..group_size {
+        u_new[governor].sort_by_key(|m| m.id);
+        v_new[governor].sort_by_key(|m| m.id);
+        u.msgs.set_messages_for(governor, std::mem::take(&mut u_new[governor]));
+        v.msgs.set_messages_for(governor, std::mem::take(&mut v_new[governor]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::SimRng;
+
+    fn setup(n: usize, r: usize) -> (Params, GroupPartition) {
+        let params = Params::new(n, r).unwrap();
+        let partition = GroupPartition::new(&params);
+        (params, partition)
+    }
+
+    fn active(dc: &DetectCollisionState) -> &CollisionState {
+        dc.active().expect("state should be active")
+    }
+
+    fn run_interaction(
+        params: &Params,
+        partition: &GroupPartition,
+        u_rank: u32,
+        u: &mut DetectCollisionState,
+        v_rank: u32,
+        v: &mut DetectCollisionState,
+        seed: u64,
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut ctx = InteractionCtx::new(&mut rng, 0);
+        detect_collision(params, partition, u_rank, u, v_rank, v, &mut ctx);
+    }
+
+    #[test]
+    fn initial_state_holds_expected_blocks() {
+        let (params, partition) = setup(16, 4);
+        let dc = initial_state(&params, &partition, 6);
+        let s = active(&dc);
+        let m = partition.group_size_of(6);
+        assert_eq!(m, 4);
+        assert_eq!(s.msgs.total(), 2 * m * m);
+        assert_eq!(s.signature, INITIAL_CONTENT);
+        assert_eq!(s.observations.len(), 2 * m * m);
+    }
+
+    #[test]
+    fn different_groups_do_not_interact() {
+        let (params, partition) = setup(16, 4);
+        let mut u = initial_state(&params, &partition, 1);
+        let mut v = initial_state(&params, &partition, 9);
+        let before = (u.clone(), v.clone());
+        run_interaction(&params, &partition, 1, &mut u, 9, &mut v, 1);
+        assert_eq!((u, v), before, "cross-group interaction must be a no-op");
+    }
+
+    #[test]
+    fn equal_ranks_raise_error_immediately() {
+        let (params, partition) = setup(16, 4);
+        let mut u = initial_state(&params, &partition, 3);
+        let mut v = initial_state(&params, &partition, 3);
+        run_interaction(&params, &partition, 3, &mut u, 3, &mut v, 1);
+        assert!(u.is_error());
+        assert!(v.is_error());
+    }
+
+    #[test]
+    fn duplicate_circulating_message_raises_error() {
+        let (params, partition) = setup(16, 4);
+        let mut u = initial_state(&params, &partition, 1);
+        let mut v = initial_state(&params, &partition, 2);
+        // Plant a copy of one of u's messages into v's store.
+        {
+            let u_state = u.active().unwrap().clone();
+            let governor = 0;
+            let msg = u_state.msgs.messages_for(governor)[0];
+            v.active_mut()
+                .unwrap()
+                .msgs
+                .insert(governor, msg.id, msg.content);
+        }
+        run_interaction(&params, &partition, 1, &mut u, 2, &mut v, 1);
+        assert!(u.is_error() && v.is_error());
+    }
+
+    #[test]
+    fn inconsistent_message_content_raises_error() {
+        let (params, partition) = setup(16, 4);
+        let mut u = initial_state(&params, &partition, 1);
+        let mut v = initial_state(&params, &partition, 2);
+        // Corrupt the content of one of v's messages that is governed by
+        // rank 1 (u's rank): u's observation for it still says
+        // INITIAL_CONTENT, so u must detect the mismatch.
+        {
+            let governor = partition.position_in_group(1);
+            let v_state = v.active_mut().unwrap();
+            let msg = v_state.msgs.messages_for(governor)[0];
+            v_state.msgs.insert(governor, msg.id, msg.content + 77);
+        }
+        run_interaction(&params, &partition, 1, &mut u, 2, &mut v, 1);
+        assert!(u.is_error() && v.is_error());
+    }
+
+    #[test]
+    fn consistent_interaction_is_not_an_error_and_conserves_messages() {
+        let (params, partition) = setup(16, 4);
+        let mut u = initial_state(&params, &partition, 1);
+        let mut v = initial_state(&params, &partition, 2);
+        let total_before = active(&u).msgs.total() + active(&v).msgs.total();
+        run_interaction(&params, &partition, 1, &mut u, 2, &mut v, 1);
+        assert!(!u.is_error() && !v.is_error());
+        let total_after = active(&u).msgs.total() + active(&v).msgs.total();
+        assert_eq!(total_before, total_after, "load balancing must conserve messages");
+    }
+
+    #[test]
+    fn error_state_is_sticky_under_interaction() {
+        let (params, partition) = setup(16, 4);
+        let mut u = DetectCollisionState::Error;
+        let mut v = initial_state(&params, &partition, 2);
+        let v_before = v.clone();
+        run_interaction(&params, &partition, 1, &mut u, 2, &mut v, 1);
+        assert!(u.is_error());
+        assert_eq!(v, v_before);
+    }
+
+    #[test]
+    fn update_messages_rewrites_partner_messages_and_records_observations() {
+        let (params, partition) = setup(16, 4);
+        let mut u = initial_state(&params, &partition, 1);
+        let mut v = initial_state(&params, &partition, 2);
+        let governor = partition.position_in_group(1);
+        // Force a signature refresh by setting the counter to the period.
+        let m = partition.group_size_of(1);
+        u.active_mut().unwrap().counter = params.signature_period(m);
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut ctx = InteractionCtx::new(&mut rng, 0);
+        let (u_state, v_state) = (u.active_mut().unwrap(), v.active_mut().unwrap());
+        update_messages(&params, &partition, 1, u_state, v_state, &mut ctx);
+        let sig = u_state.signature;
+        assert!(sig >= 1 && sig <= params.signature_space(m));
+        for msg in u_state.msgs.messages_for(governor) {
+            assert_eq!(msg.content, sig);
+            assert_eq!(u_state.observations.get(msg.id), sig);
+        }
+        for msg in v_state.msgs.messages_for(governor) {
+            assert_eq!(msg.content, sig);
+            assert_eq!(u_state.observations.get(msg.id), sig);
+        }
+    }
+
+    #[test]
+    fn signature_counter_advances_without_refresh() {
+        let (params, partition) = setup(16, 4);
+        let mut u = initial_state(&params, &partition, 1);
+        let mut v = initial_state(&params, &partition, 2);
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut ctx = InteractionCtx::new(&mut rng, 0);
+        let (u_state, v_state) = (u.active_mut().unwrap(), v.active_mut().unwrap());
+        let sig_before = u_state.signature;
+        update_messages(&params, &partition, 1, u_state, v_state, &mut ctx);
+        assert_eq!(u_state.counter, 2);
+        assert_eq!(u_state.signature, sig_before, "signature unchanged before the period");
+    }
+
+    #[test]
+    fn balance_load_splits_each_content_class_evenly() {
+        let (params, partition) = setup(16, 4);
+        let mut u = initial_state(&params, &partition, 1);
+        let mut v = initial_state(&params, &partition, 2);
+        let m = partition.group_size_of(1);
+        let (u_state, v_state) = (u.active_mut().unwrap(), v.active_mut().unwrap());
+        balance_load(u_state, v_state, m);
+        for governor in 0..m {
+            let mut counts: std::collections::HashMap<u64, (usize, usize)> =
+                std::collections::HashMap::new();
+            for msg in u_state.msgs.messages_for(governor) {
+                counts.entry(msg.content).or_default().0 += 1;
+            }
+            for msg in v_state.msgs.messages_for(governor) {
+                counts.entry(msg.content).or_default().1 += 1;
+            }
+            for (content, (a, b)) in counts {
+                assert!(
+                    a.abs_diff(b) <= 1,
+                    "content {content} split {a}/{b} for governor {governor}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_interactions_between_distinct_ranks_never_error() {
+        // Soundness smoke test at the module level: a correctly initialized
+        // group with distinct ranks never produces ⊤, no matter how many
+        // interactions happen (Lemma E.2).
+        let (params, partition) = setup(8, 4);
+        let ranks: Vec<u32> = partition.ranks_in(0).collect();
+        let mut states: Vec<DetectCollisionState> = ranks
+            .iter()
+            .map(|&rank| initial_state(&params, &partition, rank))
+            .collect();
+        let mut rng = SimRng::seed_from_u64(11);
+        for step in 0..5_000u64 {
+            let i = (step % ranks.len() as u64) as usize;
+            let j = ((step / ranks.len() as u64 + 1 + i as u64) % ranks.len() as u64) as usize;
+            if i == j {
+                continue;
+            }
+            let (a, b) = if i < j {
+                let (left, right) = states.split_at_mut(j);
+                (&mut left[i], &mut right[0])
+            } else {
+                let (left, right) = states.split_at_mut(i);
+                (&mut right[0], &mut left[j])
+            };
+            let mut ctx = InteractionCtx::new(&mut rng, step);
+            detect_collision(&params, &partition, ranks[i], a, ranks[j], b, &mut ctx);
+            assert!(!a.is_error() && !b.is_error(), "false positive at step {step}");
+        }
+        // Message conservation across the whole run.
+        let m = partition.group_size(0);
+        let total: usize = states
+            .iter()
+            .map(|s| s.active().unwrap().msgs.total())
+            .sum();
+        assert_eq!(total, m * 2 * m * m);
+    }
+}

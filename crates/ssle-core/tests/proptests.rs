@@ -1,0 +1,212 @@
+//! Property-based tests for the core protocol's data structures and
+//! invariants: the rank-space partition, the circulating-message system, the
+//! load balancer, collision-detection soundness, and the ranking
+//! sub-protocol.
+
+use ppsim::{InteractionCtx, SimRng};
+use proptest::prelude::*;
+use rand::RngCore;
+use ssle_core::groups::GroupPartition;
+use ssle_core::params::Params;
+use ssle_core::verify::{
+    balance_load, detect_collision, initial_state, CollisionState, DetectCollisionState,
+    MessageStore, Observations, INITIAL_CONTENT,
+};
+
+fn arb_n_r() -> impl Strategy<Value = (usize, usize)> {
+    (4usize..48).prop_flat_map(|n| (Just(n), 1usize..=(n / 2).max(1)))
+}
+
+proptest! {
+    /// The rank-space partition covers every rank exactly once, with group
+    /// sizes within the prescribed band.
+    #[test]
+    fn partition_is_exact_and_balanced((n, r) in arb_n_r()) {
+        let partition = GroupPartition::with_sizes(n, r);
+        let mut covered = vec![0usize; n + 1];
+        for g in 0..partition.num_groups() {
+            let size = partition.group_size(g);
+            prop_assert!(size <= r);
+            prop_assert!(2 * size >= r, "group {g} smaller than r/2");
+            for rank in partition.ranks_in(g) {
+                covered[rank as usize] += 1;
+                prop_assert_eq!(partition.group_of(rank), g);
+                prop_assert!(partition.position_in_group(rank) < size);
+            }
+        }
+        prop_assert!(covered[1..].iter().all(|&c| c == 1));
+    }
+
+    /// Parameter validation accepts exactly the Theorem 1.1 range.
+    #[test]
+    fn params_validation_matches_theorem_range(n in 0usize..100, r in 0usize..100) {
+        let ok = Params::new(n, r).is_ok();
+        let expected = n >= 4 && r >= 1 && r <= n / 2;
+        prop_assert_eq!(ok, expected);
+    }
+
+    /// The initial message stores of a group tile the ID space exactly once
+    /// for every governing rank.
+    #[test]
+    fn initial_message_blocks_tile_the_id_space(m in 1usize..12) {
+        let ids = 2 * (m as u32) * (m as u32);
+        let stores: Vec<MessageStore> =
+            (0..m).map(|p| MessageStore::initial(m, ids, p)).collect();
+        for governor in 0..m {
+            let mut seen = vec![0u32; ids as usize + 1];
+            for store in &stores {
+                for msg in store.messages_for(governor) {
+                    seen[msg.id as usize] += 1;
+                }
+            }
+            prop_assert!(seen[1..].iter().all(|&c| c == 1));
+        }
+    }
+
+    /// Load balancing conserves the multiset of messages and leaves every
+    /// (governor, content) class split evenly (difference at most one).
+    #[test]
+    fn balance_load_conserves_and_balances(
+        m in 1usize..6,
+        seed in any::<u64>(),
+        moves in 1usize..20,
+    ) {
+        let ids = 2 * (m as u32) * (m as u32);
+        let mut rng = SimRng::seed_from_u64(seed);
+        // Build two agents with random disjoint message sets and random
+        // contents.
+        let mut u = CollisionState {
+            signature: INITIAL_CONTENT,
+            counter: 1,
+            msgs: MessageStore::empty(m, ids),
+            observations: Observations::initial(ids),
+        };
+        let mut v = u.clone();
+        let mut expected: Vec<(usize, u32, u64)> = Vec::new();
+        for governor in 0..m {
+            for id in 1..=ids {
+                match rng.next_u32() % 3 {
+                    0 => {
+                        let content = 1 + u64::from(rng.next_u32() % 4);
+                        u.msgs.insert(governor, id, content);
+                        expected.push((governor, id, content));
+                    }
+                    1 => {
+                        let content = 1 + u64::from(rng.next_u32() % 4);
+                        v.msgs.insert(governor, id, content);
+                        expected.push((governor, id, content));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        expected.sort_unstable();
+        for _ in 0..moves {
+            balance_load(&mut u, &mut v, m);
+            // Conservation: the union of both stores is exactly the expected
+            // multiset (and no (governor, id) is duplicated).
+            let mut actual: Vec<(usize, u32, u64)> = Vec::new();
+            for governor in 0..m {
+                for msg in u.msgs.messages_for(governor) {
+                    actual.push((governor, msg.id, msg.content));
+                }
+                for msg in v.msgs.messages_for(governor) {
+                    actual.push((governor, msg.id, msg.content));
+                }
+            }
+            actual.sort_unstable();
+            prop_assert_eq!(&actual, &expected);
+            // Balance: per (governor, content) class the counts differ by ≤ 1.
+            for governor in 0..m {
+                let mut per_content: std::collections::HashMap<u64, (i64, i64)> =
+                    std::collections::HashMap::new();
+                for msg in u.msgs.messages_for(governor) {
+                    per_content.entry(msg.content).or_default().0 += 1;
+                }
+                for msg in v.msgs.messages_for(governor) {
+                    per_content.entry(msg.content).or_default().1 += 1;
+                }
+                for (content, (a, b)) in per_content {
+                    prop_assert!((a - b).abs() <= 1, "content {content}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    /// Soundness (Lemma E.2 / E.1(a)) as a property: starting from correctly
+    /// initialized collision-detection states on *distinct* ranks, no
+    /// sequence of interactions ever produces the error state.
+    #[test]
+    fn detect_collision_has_no_false_positives(
+        (n, r) in (6usize..24).prop_flat_map(|n| (Just(n), 2usize..=(n / 2).max(2))),
+        seed in any::<u64>(),
+        interactions in 1usize..400,
+    ) {
+        let params = Params::new(n, r).unwrap();
+        let partition = GroupPartition::new(&params);
+        // Pick the first group and give each of its ranks to one agent.
+        let ranks: Vec<u32> = partition.ranks_in(0).collect();
+        prop_assume!(ranks.len() >= 2);
+        let mut states: Vec<DetectCollisionState> = ranks
+            .iter()
+            .map(|&rank| initial_state(&params, &partition, rank))
+            .collect();
+        let mut rng = SimRng::seed_from_u64(seed);
+        for step in 0..interactions {
+            let i = (rng.next_u64() % ranks.len() as u64) as usize;
+            let mut j = (rng.next_u64() % (ranks.len() as u64 - 1)) as usize;
+            if j >= i {
+                j += 1;
+            }
+            let (a, b) = if i < j {
+                let (l, rest) = states.split_at_mut(j);
+                (&mut l[i], &mut rest[0])
+            } else {
+                let (l, rest) = states.split_at_mut(i);
+                (&mut rest[0], &mut l[j])
+            };
+            let mut ctx = InteractionCtx::new(&mut rng, step as u64);
+            detect_collision(&params, &partition, ranks[i], a, ranks[j], b, &mut ctx);
+            prop_assert!(!a.is_error(), "false positive at step {step}");
+            prop_assert!(!b.is_error(), "false positive at step {step}");
+        }
+        // Message conservation across the whole run.
+        let per_rank = params.message_ids_per_rank(ranks.len()) as usize;
+        let total: usize = states.iter().map(|s| s.active().unwrap().msgs.total()).sum();
+        prop_assert_eq!(total, per_rank * ranks.len());
+    }
+
+    /// Completeness at the micro level: two correctly initialized agents with
+    /// the same rank raise the error on their first interaction.
+    #[test]
+    fn detect_collision_flags_equal_ranks_immediately(
+        (n, r) in arb_n_r(),
+        rank_index in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        let params = Params::new(n, r).unwrap();
+        let partition = GroupPartition::new(&params);
+        let rank = (rank_index % n) as u32 + 1;
+        let mut u = initial_state(&params, &partition, rank);
+        let mut v = initial_state(&params, &partition, rank);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut ctx = InteractionCtx::new(&mut rng, 0);
+        detect_collision(&params, &partition, rank, &mut u, rank, &mut v, &mut ctx);
+        prop_assert!(u.is_error());
+        prop_assert!(v.is_error());
+    }
+
+    /// The state-bit accounting is monotone in r (more states for a faster
+    /// protocol), the quantitative heart of the trade-off.
+    #[test]
+    fn state_bits_monotone_in_r(n in 8usize..200) {
+        let mut last = 0.0f64;
+        let mut r = 1usize;
+        while r <= n / 2 {
+            let bits = ssle_core::state_bits(&Params::new(n, r).unwrap()).total();
+            prop_assert!(bits >= last, "bits decreased at r = {r}");
+            last = bits;
+            r *= 2;
+        }
+    }
+}

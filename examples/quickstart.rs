@@ -1,0 +1,63 @@
+//! Quickstart: run `ElectLeader_r` from a clean start and watch it elect a
+//! unique leader.
+//!
+//! ```bash
+//! cargo run --release --example quickstart -- [n] [r] [seed]
+//! ```
+
+use ppsim::simulation::StabilizationOptions;
+use ppsim::{Configuration, Simulation};
+use ssle_core::{output, ElectLeader};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let r: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(n / 2);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+
+    let protocol = match ElectLeader::with_n_r(n, r) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("invalid parameters: {e}");
+            std::process::exit(1);
+        }
+    };
+    let budget = protocol.params().suggested_budget();
+    println!("ElectLeader_r quickstart");
+    println!("  population size n  = {n}");
+    println!("  trade-off param r  = {r}");
+    println!("  rank groups        = {}", protocol.partition().num_groups());
+    println!("  interaction budget = {budget}");
+    println!();
+
+    let config = Configuration::clean(&protocol);
+    let mut sim = Simulation::new(protocol, config, seed);
+    let result = sim.measure_stabilization(
+        output::is_correct_output,
+        StabilizationOptions::new(n, budget),
+    );
+
+    match result.stabilized_at {
+        Some(t) => {
+            println!(
+                "stabilized after {t} interactions ({:.1} parallel time)",
+                t as f64 / n as f64
+            );
+            let config = sim.configuration();
+            println!("  unique leader: {}", output::has_unique_leader(config));
+            println!("  leaders found: {}", output::leader_count(config));
+            let leader = config
+                .iter()
+                .position(|s| s.verified_rank() == Some(1))
+                .expect("a leader exists");
+            println!("  the leader is population slot #{leader} (the agent that committed to rank 1)");
+        }
+        None => {
+            println!(
+                "did not stabilize within the budget of {} interactions — try a larger budget",
+                result.interactions
+            );
+            std::process::exit(2);
+        }
+    }
+}

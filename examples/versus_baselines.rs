@@ -1,0 +1,20 @@
+//! `ElectLeader_r` versus the baseline protocols (experiment E6): compare
+//! the time to a correct output across population sizes for three
+//! `ElectLeader_r` regimes and the four baselines.
+//!
+//! ```bash
+//! cargo run --release --example versus_baselines -- [tiny|quick|full]
+//! ```
+
+use analysis::experiments::comparison::e6_versus_baselines;
+use analysis::Scale;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|a| Scale::parse(&a))
+        .unwrap_or(Scale::Quick);
+    println!("Running the baseline comparison at {scale:?} scale…\n");
+    let table = e6_versus_baselines(scale);
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,92 @@
+//! Cross-crate integration tests for the baseline protocols and the
+//! comparison experiment: all baselines converge through the shared `ppsim`
+//! substrate, and the headline ordering of experiment E6 holds at small
+//! scale.
+
+use baselines::{CaiIzumiWada, DirectCollisionSsle, LooselyStabilizingLe, MinIdLeaderElection};
+use ppsim::simulation::StabilizationOptions;
+use ppsim::{Configuration, LeaderOutput, RankingOutput, Simulation};
+use ssle_core::{output, ElectLeader};
+
+fn stabilization_time<P, F>(protocol: P, budget: u64, seed: u64, pred: F) -> f64
+where
+    P: ppsim::Protocol + ppsim::CleanInit,
+    F: FnMut(&Configuration<P::State>) -> bool,
+{
+    let n = protocol.population_size();
+    let config = Configuration::clean(&protocol);
+    let mut sim = Simulation::new(protocol, config, seed);
+    let result = sim.measure_stabilization(pred, StabilizationOptions::new(n, budget));
+    result
+        .parallel_time()
+        .unwrap_or_else(|| panic!("baseline did not converge within {budget} interactions"))
+}
+
+#[test]
+fn every_baseline_converges_at_small_scale() {
+    let n = 24;
+    let budget = 100 * (n as u64) * (n as u64) + 100_000;
+    let ciw = stabilization_time(CaiIzumiWada::new(n), budget, 1, |c| {
+        CaiIzumiWada::new(n).is_correct_ranking(c.as_slice())
+    });
+    let direct = stabilization_time(DirectCollisionSsle::new(n), budget, 2, |c| {
+        DirectCollisionSsle::new(n).is_correct_ranking(c.as_slice())
+    });
+    let min_id = stabilization_time(MinIdLeaderElection::new(n), budget, 3, |c| {
+        c.iter().all(|s| s.identifier.is_some())
+            && MinIdLeaderElection::new(n).leader_count(c.as_slice()) == 1
+    });
+    let loose = stabilization_time(LooselyStabilizingLe::new(n), budget, 4, |c| {
+        LooselyStabilizingLe::new(n).leader_count(c.as_slice()) == 1
+    });
+    assert!(ciw > 0.0 && direct > 0.0 && min_id > 0.0 && loose > 0.0);
+    // The non-self-stabilizing min-ID reference line is far faster than the
+    // Θ(n²)-time ranking baselines.
+    assert!(min_id < ciw, "min-ID ({min_id}) should beat Cai-Izumi-Wada ({ciw})");
+}
+
+#[test]
+fn elect_leader_fast_regime_beats_quadratic_baseline_on_average() {
+    // The headline comparison of experiment E6 at a small size: averaged over
+    // a few seeds, ElectLeader_r with r = n/2 needs fewer interactions than
+    // the Θ(n²)-time Cai-Izumi-Wada baseline.
+    let n = 32;
+    let trials = 3u64;
+    let mut elect_total = 0.0;
+    let mut ciw_total = 0.0;
+    for seed in 0..trials {
+        let protocol = ElectLeader::with_n_r(n, n / 2).unwrap();
+        let budget = protocol.params().suggested_budget();
+        let config = Configuration::clean(&protocol);
+        let mut sim = Simulation::new(protocol, config, 10 + seed);
+        let result = sim.measure_stabilization(
+            output::is_correct_output,
+            StabilizationOptions::new(n, budget),
+        );
+        elect_total += result.parallel_time().expect("ElectLeader_r stabilizes");
+
+        ciw_total += stabilization_time(
+            CaiIzumiWada::new(n),
+            200 * (n as u64) * (n as u64),
+            20 + seed,
+            |c| CaiIzumiWada::new(n).is_correct_ranking(c.as_slice()),
+        );
+    }
+    assert!(
+        elect_total < ciw_total,
+        "ElectLeader_r (total parallel time {elect_total:.1}) should beat \
+         Cai-Izumi-Wada ({ciw_total:.1}) already at n = {n}"
+    );
+}
+
+#[test]
+fn baselines_and_core_share_the_same_simulation_substrate() {
+    // The same Simulation API drives both the paper's protocol and the
+    // baselines — a sanity check that the comparison is apples to apples.
+    let ciw = CaiIzumiWada::new(8);
+    let sim = Simulation::new(ciw, Configuration::clean(&CaiIzumiWada::new(8)), 0);
+    assert_eq!(sim.configuration().len(), 8);
+    let el = ElectLeader::with_n_r(8, 4).unwrap();
+    let sim = Simulation::new(el, Configuration::clean(&ElectLeader::with_n_r(8, 4).unwrap()), 0);
+    assert_eq!(sim.configuration().len(), 8);
+}

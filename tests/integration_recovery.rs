@@ -1,0 +1,105 @@
+//! Cross-crate integration tests: self-stabilization — recovery from every
+//! adversarial scenario in the catalog (Lemma 6.3 / Theorem 1.1).
+
+use ppsim::rng::derive_seed;
+use ppsim::simulation::StabilizationOptions;
+use ppsim::{SimRng, Simulation};
+use ssle_core::{output, ElectLeader, Scenario};
+
+fn recovers(n: usize, r: usize, scenario: Scenario, seed: u64) -> u64 {
+    let protocol = ElectLeader::with_n_r(n, r).expect("valid parameters");
+    let budget = protocol.params().suggested_budget();
+    let mut rng = SimRng::seed_from_u64(derive_seed(seed, 1));
+    let config = scenario.generate(&protocol, &mut rng);
+    let mut sim = Simulation::new(protocol, config, derive_seed(seed, 2));
+    let result = sim.measure_stabilization(
+        output::is_correct_output,
+        StabilizationOptions::new(n, budget),
+    );
+    assert!(
+        result.stabilized(),
+        "scenario {} (n={n}, r={r}, seed={seed}) did not recover within {} interactions",
+        scenario.name(),
+        result.interactions
+    );
+    assert!(output::has_unique_leader(sim.configuration()));
+    result.stabilized_at.unwrap()
+}
+
+#[test]
+fn recovers_from_every_catalog_scenario() {
+    let (n, r) = (16, 4);
+    for (i, scenario) in Scenario::catalog(n).into_iter().enumerate() {
+        recovers(n, r, scenario, 100 + i as u64);
+    }
+}
+
+#[test]
+fn recovers_from_all_leaders_and_no_leader_in_the_fast_regime() {
+    let (n, r) = (16, 8);
+    recovers(n, r, Scenario::AllLeaders, 7);
+    recovers(n, r, Scenario::NoLeader, 8);
+}
+
+#[test]
+fn recovers_from_uniform_random_garbage_with_several_seeds() {
+    let (n, r) = (16, 4);
+    for seed in 0..4 {
+        recovers(n, r, Scenario::UniformRandom, 500 + seed);
+    }
+}
+
+#[test]
+fn duplicate_ranks_are_repaired_faster_with_larger_r() {
+    // Detection dominates repair here; with r = n/2 the collision is found in
+    // a single group of size n/2, with r = 1 only direct meetings count.
+    // Averaged over a few seeds the larger r should not be slower.
+    let n = 16;
+    let average = |r: usize| -> f64 {
+        (0..4u64)
+            .map(|seed| recovers(n, r, Scenario::DuplicateRanks(2), 900 + seed) as f64)
+            .sum::<f64>()
+            / 4.0
+    };
+    let slow = average(1);
+    let fast = average(8);
+    assert!(
+        fast <= slow * 1.5,
+        "recovery with r=8 ({fast}) should not be much slower than with r=1 ({slow})"
+    );
+}
+
+#[test]
+fn mid_run_corruption_is_also_repaired() {
+    // Failure injection: corrupt the population *after* it stabilized and
+    // check that it re-stabilizes (possibly to a different ranking).
+    let (n, r) = (16, 4);
+    let protocol = ElectLeader::with_n_r(n, r).unwrap();
+    let budget = protocol.params().suggested_budget();
+    let config = ppsim::Configuration::clean(&protocol);
+    let mut sim = Simulation::new(protocol, config, 77);
+    let first = sim.measure_stabilization(
+        output::is_correct_output,
+        StabilizationOptions::new(n, budget),
+    );
+    assert!(first.stabilized());
+
+    // Corrupt half the agents: duplicate the rank-1 agent's state everywhere.
+    let leader_state = sim
+        .configuration()
+        .iter()
+        .find(|s| s.verified_rank() == Some(1))
+        .unwrap()
+        .clone();
+    for i in 0..n / 2 {
+        sim.configuration_mut()[i] = leader_state.clone();
+    }
+    assert!(!output::is_correct_output(sim.configuration()) || output::leader_count(sim.configuration()) == 1);
+
+    let second = sim.measure_stabilization(
+        output::is_correct_output,
+        StabilizationOptions::new(n, budget),
+    );
+    assert!(second.stabilized(), "must re-stabilize after mid-run corruption");
+    assert!(output::has_unique_leader(sim.configuration()));
+}
