@@ -83,7 +83,8 @@ pub fn e6_versus_baselines(scale: Scale) -> Table {
     );
     for &n in &scale.n_values() {
         for contender in Contender::all() {
-            let seed = scale.base_seed() ^ 0xE6 ^ ((n * 37) as u64) ^ (contender.label().len() as u64);
+            let seed =
+                scale.base_seed() ^ 0xE6 ^ ((n * 37) as u64) ^ (contender.label().len() as u64);
             let budget_quadratic = 200 * (n as u64) * (n as u64) + 200_000;
             let outcomes = run_trials(scale.trials(), seed, |trial_seed| match contender {
                 Contender::ElectLeaderFast => ssle_trial(n, n / 2, Scenario::Clean, trial_seed),

@@ -34,9 +34,11 @@ pub fn e3_post_reset(scale: Scale) -> Table {
     let mut points: Vec<(f64, f64)> = Vec::new();
     for &n in &scale.n_values() {
         let r = (n / 2).max(1);
-        let outcomes = run_trials(scale.trials(), scale.base_seed() ^ (n as u64) << 8, |seed| {
-            ssle_trial(n, r, Scenario::Triggered, seed)
-        });
+        let outcomes = run_trials(
+            scale.trials(),
+            scale.base_seed() ^ (n as u64) << 8,
+            |seed| ssle_trial(n, r, Scenario::Triggered, seed),
+        );
         let summary = summarize_trials(&outcomes);
         let bound = (n as f64 / r as f64) * (n as f64).ln();
         table.push_row([
@@ -245,7 +247,11 @@ mod tests {
                 "no hard reset expected, got {row:?}"
             );
             let trials: usize = row[1].parse().unwrap();
-            assert_eq!(row[4], format!("{trials}/{trials}"), "ranking must be preserved: {row:?}");
+            assert_eq!(
+                row[4],
+                format!("{trials}/{trials}"),
+                "ranking must be preserved: {row:?}"
+            );
         }
     }
 }

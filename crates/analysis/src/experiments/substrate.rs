@@ -17,13 +17,21 @@ use ppsim::{
     AgentId, CleanInit, Configuration, InteractionCtx, Protocol, SimRng, Simulation, SyntheticCoin,
 };
 use rand::RngCore;
-use ssle_core::verify::{balance_load, CollisionState, MessageStore, Observations, INITIAL_CONTENT};
+use ssle_core::verify::{
+    balance_load, CollisionState, MessageStore, Observations, INITIAL_CONTENT,
+};
 
 /// E8 — epidemic completion constant and load-balancing convergence.
 pub fn e8_substrate(scale: Scale) -> Table {
     let mut table = Table::new(
         "E8 — substrate: epidemic constant (Lemma A.2) and load balancing (Lemma E.6)",
-        &["measurement", "parameter", "trials", "mean value", "max value"],
+        &[
+            "measurement",
+            "parameter",
+            "trials",
+            "mean value",
+            "max value",
+        ],
     );
 
     // Epidemic constant: completion interactions / (n ln n).
@@ -290,7 +298,11 @@ mod tests {
     fn coin_quality_is_close_to_uniform() {
         let quality = measure_coin_quality(32, 8, 120_000, 11);
         assert!(quality.samples > 1_000);
-        assert!(quality.tv_distance < 0.1, "TV distance {}", quality.tv_distance);
+        assert!(
+            quality.tv_distance < 0.1,
+            "TV distance {}",
+            quality.tv_distance
+        );
         assert!(quality.min_scaled_probability >= 0.5);
         assert!(quality.max_scaled_probability <= 2.0);
     }
@@ -312,7 +324,10 @@ mod tests {
         assert_eq!(epidemic_rows.len(), Scale::Tiny.n_values().len());
         for row in epidemic_rows {
             let mean: f64 = row[3].parse().unwrap();
-            assert!(mean < 7.0, "epidemic constant {mean} exceeds the paper's c_epi < 7");
+            assert!(
+                mean < 7.0,
+                "epidemic constant {mean} exceeds the paper's c_epi < 7"
+            );
         }
     }
 }

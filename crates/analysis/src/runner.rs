@@ -3,7 +3,7 @@
 //! Experiments repeat every measurement over several independent trials.
 //! [`run_trials`] derives one seed per trial from a base seed (so every table
 //! row is reproducible bit-for-bit) and executes the trials on worker threads
-//! via `crossbeam::scope`.
+//! via [`std::thread::scope`].
 
 use ppsim::rng::derive_seed;
 use ppsim::Summary;
@@ -81,19 +81,21 @@ where
                 s
             })
             .collect();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (chunk, start) in chunks.into_iter().zip(starts) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (offset, slot) in chunk.iter_mut().enumerate() {
                         let index = start + offset;
                         *slot = Some(trial(derive_seed(base_seed, index as u64)));
                     }
                 });
             }
-        })
-        .expect("trial worker panicked");
+        });
     }
-    outcomes.into_iter().map(|o| o.expect("trial ran")).collect()
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("trial ran"))
+        .collect()
 }
 
 fn split_chunks<T>(slice: &mut [T], parts: usize) -> Vec<&mut [T]> {
@@ -127,7 +129,11 @@ mod tests {
     fn fake_trial(seed: u64) -> TrialOutcome {
         TrialOutcome {
             stabilized: seed % 4 != 0,
-            stabilized_at: if seed % 4 != 0 { Some(seed % 1000) } else { None },
+            stabilized_at: if seed % 4 != 0 {
+                Some(seed % 1000)
+            } else {
+                None
+            },
             total_interactions: 1000,
             n: 10,
         }

@@ -75,6 +75,53 @@ impl Table {
         out
     }
 
+    /// Renders the table as a pretty-printed JSON document with the same
+    /// field layout `serde_json` would produce for this struct.
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn string_array(items: &[String], indent: &str) -> String {
+            if items.is_empty() {
+                return "[]".to_string();
+            }
+            let cells: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+            format!(
+                "[\n{indent}  {}\n{indent}]",
+                cells.join(&format!(",\n{indent}  "))
+            )
+        }
+        let rows = if self.rows.is_empty() {
+            "[]".to_string()
+        } else {
+            let rendered: Vec<String> = self
+                .rows
+                .iter()
+                .map(|row| string_array(row, "    "))
+                .collect();
+            format!("[\n    {}\n  ]", rendered.join(",\n    "))
+        };
+        format!(
+            "{{\n  \"title\": \"{}\",\n  \"columns\": {},\n  \"rows\": {},\n  \"notes\": {}\n}}",
+            escape(&self.title),
+            string_array(&self.columns, "  "),
+            rows,
+            string_array(&self.notes, "  ")
+        )
+    }
+
     /// Renders the table as CSV (header row first; notes are omitted).
     pub fn to_csv(&self) -> String {
         let escape = |cell: &str| -> String {
@@ -146,6 +193,27 @@ mod tests {
     }
 
     #[test]
+    fn json_rendering_escapes_and_nests() {
+        let mut t = Table::new("E0 \"quoted\" \\ demo", &["n", "time"]);
+        t.push_row(["16", "3.5\nnewline"]);
+        t.push_note("tab\there");
+        let json = t.to_json();
+        assert!(json.contains("\"title\": \"E0 \\\"quoted\\\" \\\\ demo\""));
+        assert!(json.contains("\"3.5\\nnewline\""));
+        assert!(json.contains("\"tab\\there\""));
+        // Structural sanity: balanced braces/brackets and all four fields.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for field in ["\"title\"", "\"columns\"", "\"rows\"", "\"notes\""] {
+            assert!(json.contains(field), "missing {field}");
+        }
+        // Empty table renders empty arrays, not malformed fragments.
+        let empty = Table::new("x", &[]).to_json();
+        assert!(empty.contains("\"columns\": []"));
+        assert!(empty.contains("\"rows\": []"));
+    }
+
+    #[test]
     #[should_panic(expected = "row length")]
     fn mismatched_row_rejected() {
         let mut t = Table::new("x", &["a", "b"]);
@@ -155,7 +223,7 @@ mod tests {
     #[test]
     fn float_formatting_is_stable() {
         assert_eq!(fmt_f64(0.0), "0");
-        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(3.15159), "3.152");
         assert_eq!(fmt_f64(42.34), "42.3");
         assert_eq!(fmt_f64(12345.6), "12346");
     }

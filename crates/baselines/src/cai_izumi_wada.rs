@@ -119,7 +119,8 @@ mod tests {
         let out = sim.run_until(
             |c| {
                 let mut seen = vec![false; n + 1];
-                c.iter().all(|&s| !std::mem::replace(&mut seen[s as usize], true))
+                c.iter()
+                    .all(|&s| !std::mem::replace(&mut seen[s as usize], true))
             },
             20_000_000,
         );

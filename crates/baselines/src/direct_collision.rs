@@ -70,9 +70,9 @@ mod tests {
 
     fn is_permutation(states: &[u32], n: usize) -> bool {
         let mut seen = vec![false; n + 1];
-        states
-            .iter()
-            .all(|&s| (1..=n as u32).contains(&s) && !std::mem::replace(&mut seen[s as usize], true))
+        states.iter().all(|&s| {
+            (1..=n as u32).contains(&s) && !std::mem::replace(&mut seen[s as usize], true)
+        })
     }
 
     #[test]

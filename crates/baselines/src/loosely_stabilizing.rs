@@ -68,12 +68,7 @@ impl Protocol for LooselyStabilizingLe {
         self.n
     }
 
-    fn interact(
-        &self,
-        u: &mut LooseState,
-        v: &mut LooseState,
-        _ctx: &mut InteractionCtx<'_>,
-    ) {
+    fn interact(&self, u: &mut LooseState, v: &mut LooseState, _ctx: &mut InteractionCtx<'_>) {
         // Two leaders: the responder abdicates.
         if u.leader && v.leader {
             v.leader = false;
@@ -168,8 +163,14 @@ mod tests {
         let p = LooselyStabilizingLe::new(8);
         let mut rng = ppsim::SimRng::seed_from_u64(0);
         let mut ctx = InteractionCtx::new(&mut rng, 0);
-        let mut a = LooseState { leader: true, timer: 5 };
-        let mut b = LooseState { leader: true, timer: 5 };
+        let mut a = LooseState {
+            leader: true,
+            timer: 5,
+        };
+        let mut b = LooseState {
+            leader: true,
+            timer: 5,
+        };
         p.interact(&mut a, &mut b, &mut ctx);
         assert!(a.leader && !b.leader);
         assert_eq!(a.timer, p.timer_max());

@@ -60,12 +60,7 @@ impl Protocol for MinIdLeaderElection {
         self.n
     }
 
-    fn interact(
-        &self,
-        u: &mut MinIdState,
-        v: &mut MinIdState,
-        ctx: &mut InteractionCtx<'_>,
-    ) {
+    fn interact(&self, u: &mut MinIdState, v: &mut MinIdState, ctx: &mut InteractionCtx<'_>) {
         for state in [&mut *u, &mut *v] {
             if state.identifier.is_none() {
                 let id = 1 + ctx.sample_below(self.identifier_space());
@@ -106,10 +101,7 @@ mod tests {
         let config = Configuration::clean(&p);
         let mut sim = Simulation::new(p, config, 4);
         let out = sim.run_until(
-            |c| {
-                c.iter().all(|s| s.identifier.is_some())
-                    && c.count_where(|s| s.is_leader()) == 1
-            },
+            |c| c.iter().all(|s| s.identifier.is_some()) && c.count_where(|s| s.is_leader()) == 1,
             10_000_000,
         );
         assert!(out.satisfied);
@@ -120,11 +112,7 @@ mod tests {
             .map(|s| s.identifier.unwrap())
             .min()
             .unwrap();
-        let leader = sim
-            .configuration()
-            .iter()
-            .find(|s| s.is_leader())
-            .unwrap();
+        let leader = sim.configuration().iter().find(|s| s.is_leader()).unwrap();
         assert_eq!(leader.identifier, Some(min));
     }
 

@@ -22,16 +22,25 @@ fn main() {
         return;
     }
 
-    let selection = args.first().map(String::as_str).unwrap_or("all").to_string();
-    let scale = args
+    let csv_at = args.iter().position(|a| a == "--csv");
+    let csv_dir: Option<PathBuf> = csv_at.and_then(|i| args.get(i + 1)).map(PathBuf::from);
+    // Positionals are whatever remains once `--csv <dir>` is stripped, so the
+    // flag may appear before, between, or after them.
+    let positionals: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| csv_at.map_or(true, |c| *i != c && *i != c + 1))
+        .map(|(_, a)| a)
+        .collect();
+    let selection = positionals
+        .first()
+        .map(|s| s.as_str())
+        .unwrap_or("all")
+        .to_string();
+    let scale = positionals
         .get(1)
         .and_then(|a| Scale::parse(a))
         .unwrap_or(Scale::Quick);
-    let csv_dir: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from);
 
     let started = Instant::now();
     let tables: Vec<Table> = if selection == "all" {
@@ -74,13 +83,8 @@ fn main() {
             if let Err(e) = std::fs::write(&csv_path, table.to_csv()) {
                 eprintln!("cannot write {}: {e}", csv_path.display());
             }
-            match serde_json::to_string_pretty(table) {
-                Ok(json) => {
-                    if let Err(e) = std::fs::write(&json_path, json) {
-                        eprintln!("cannot write {}: {e}", json_path.display());
-                    }
-                }
-                Err(e) => eprintln!("cannot serialize table: {e}"),
+            if let Err(e) = std::fs::write(&json_path, table.to_json()) {
+                eprintln!("cannot write {}: {e}", json_path.display());
             }
         }
         eprintln!("wrote CSV/JSON results to {}", dir.display());

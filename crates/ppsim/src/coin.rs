@@ -48,7 +48,10 @@ impl SyntheticCoin {
     ///
     /// Panics if `n_values < 2`.
     pub fn new(n_values: u64) -> Self {
-        assert!(n_values >= 2, "the sample space must have at least two values");
+        assert!(
+            n_values >= 2,
+            "the sample space must have at least two values"
+        );
         let bits = 64 - (n_values - 1).leading_zeros();
         SyntheticCoin {
             n_values,

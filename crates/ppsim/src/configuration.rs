@@ -23,7 +23,10 @@ impl<S> Configuration<S> {
     /// Panics if `states` is empty: the population model requires `n ≥ 1`
     /// (and every interesting protocol here requires `n ≥ 2`).
     pub fn from_states(states: Vec<S>) -> Self {
-        assert!(!states.is_empty(), "a population must have at least one agent");
+        assert!(
+            !states.is_empty(),
+            "a population must have at least one agent"
+        );
         Configuration { states }
     }
 
@@ -74,13 +77,13 @@ impl<S> Configuration<S> {
     }
 
     /// Whether every agent's state satisfies the predicate.
-    pub fn all<F: FnMut(&S) -> bool>(&self, mut pred: F) -> bool {
-        self.states.iter().all(|s| pred(s))
+    pub fn all<F: FnMut(&S) -> bool>(&self, pred: F) -> bool {
+        self.states.iter().all(pred)
     }
 
     /// Whether some agent's state satisfies the predicate.
-    pub fn any<F: FnMut(&S) -> bool>(&self, mut pred: F) -> bool {
-        self.states.iter().any(|s| pred(s))
+    pub fn any<F: FnMut(&S) -> bool>(&self, pred: F) -> bool {
+        self.states.iter().any(pred)
     }
 
     /// Applies the ordered-pair transition `(u, v)` by handing mutable access
@@ -124,7 +127,9 @@ impl<S> Configuration<S> {
         let n = protocol.population_size();
         assert!(n > 0, "a population must have at least one agent");
         Configuration {
-            states: (0..n).map(|i| protocol.clean_state(AgentId::new(i))).collect(),
+            states: (0..n)
+                .map(|i| protocol.clean_state(AgentId::new(i)))
+                .collect(),
         }
     }
 

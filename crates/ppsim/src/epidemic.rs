@@ -129,7 +129,11 @@ mod tests {
             .expect("epidemic should complete");
         // Lemma A.2: completion within c_epi * n log n with c_epi < 7;
         // allow generous slack for a single trial.
-        assert!(epidemic_constant(t, n) < 12.0, "constant was {}", epidemic_constant(t, n));
+        assert!(
+            epidemic_constant(t, n) < 12.0,
+            "constant was {}",
+            epidemic_constant(t, n)
+        );
         assert!(t as usize > n, "must take more than n interactions");
     }
 
@@ -178,6 +182,9 @@ mod tests {
 
     #[test]
     fn insufficient_budget_returns_none() {
-        assert_eq!(measure_epidemic_time(OneWayEpidemic::new(64, 1), 0, 5), None);
+        assert_eq!(
+            measure_epidemic_time(OneWayEpidemic::new(64, 1), 0, 5),
+            None
+        );
     }
 }

@@ -22,7 +22,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::BudgetExhausted { budget } => {
-                write!(f, "interaction budget of {budget} exhausted before the stop condition held")
+                write!(
+                    f,
+                    "interaction budget of {budget} exhausted before the stop condition held"
+                )
             }
             SimError::InvalidParameters { reason } => {
                 write!(f, "invalid protocol parameters: {reason}")

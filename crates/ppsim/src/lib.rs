@@ -84,7 +84,7 @@ pub use error::SimError;
 pub use metrics::InteractionMetrics;
 pub use protocol::{AgentId, CleanInit, InteractionCtx, LeaderOutput, Protocol, RankingOutput};
 pub use rng::SimRng;
-pub use scheduler::{OrderedPair, ScriptedScheduler, Scheduler, UniformScheduler};
+pub use scheduler::{OrderedPair, Scheduler, ScriptedScheduler, UniformScheduler};
 pub use simulation::{RunOutcome, Simulation};
 pub use stats::Summary;
 

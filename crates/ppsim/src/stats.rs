@@ -197,19 +197,23 @@ mod tests {
 
     #[test]
     fn log_log_slope_recovers_exponent() {
-        let points: Vec<(f64, f64)> = (1..=6).map(|i| {
-            let x = (1 << i) as f64;
-            (x, 3.0 * x.powf(1.5))
-        }).collect();
+        let points: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = (1 << i) as f64;
+                (x, 3.0 * x.powf(1.5))
+            })
+            .collect();
         assert!((log_log_slope(&points) - 1.5).abs() < 1e-9);
     }
 
     #[test]
     fn log_log_slope_negative_exponent() {
-        let points: Vec<(f64, f64)> = (1..=6).map(|i| {
-            let x = (1 << i) as f64;
-            (x, 10.0 / x)
-        }).collect();
+        let points: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = (1 << i) as f64;
+                (x, 10.0 / x)
+            })
+            .collect();
         assert!((log_log_slope(&points) + 1.0).abs() < 1e-9);
     }
 

@@ -139,7 +139,9 @@ fn scheduler_stream_is_reproducible() {
     let draw = |seed: u64| -> Vec<OrderedPair> {
         let mut rng = SimRng::seed_from_u64(seed);
         let mut sched = UniformScheduler::new();
-        (0..32).map(|_| sched.next_pair(9, &mut rng).unwrap()).collect()
+        (0..32)
+            .map(|_| sched.next_pair(9, &mut rng).unwrap())
+            .collect()
     };
     assert_eq!(draw(5), draw(5));
     assert_ne!(draw(5), draw(6));
@@ -148,6 +150,8 @@ fn scheduler_stream_is_reproducible() {
     let mut rng = SimRng::seed_from_u64(5);
     let _ = rng.next_u64();
     let mut sched = UniformScheduler::new();
-    let shifted: Vec<OrderedPair> = (0..32).map(|_| sched.next_pair(9, &mut rng).unwrap()).collect();
+    let shifted: Vec<OrderedPair> = (0..32)
+        .map(|_| sched.next_pair(9, &mut rng).unwrap())
+        .collect();
     assert_ne!(draw(5), shifted);
 }

@@ -98,12 +98,7 @@ impl Protocol for ElectLeader {
         self.params.n
     }
 
-    fn interact(
-        &self,
-        u: &mut AgentState,
-        v: &mut AgentState,
-        ctx: &mut InteractionCtx<'_>,
-    ) {
+    fn interact(&self, u: &mut AgentState, v: &mut AgentState, ctx: &mut InteractionCtx<'_>) {
         // Lines 1–2: PropagateReset. (Non-resetters may become resetters, and
         // dormant resetters may restart as rankers.)
         if u.is_resetting() || v.is_resetting() {

@@ -115,7 +115,15 @@ mod tests {
 
     #[test]
     fn partition_covers_rank_space_exactly_once() {
-        for (n, r) in [(10, 3), (64, 8), (64, 32), (7, 1), (100, 50), (33, 16), (5, 2)] {
+        for (n, r) in [
+            (10, 3),
+            (64, 8),
+            (64, 32),
+            (7, 1),
+            (100, 50),
+            (33, 16),
+            (5, 2),
+        ] {
             let p = GroupPartition::with_sizes(n, r);
             let mut covered = vec![0u32; n + 1];
             for g in 0..p.num_groups() {
@@ -137,7 +145,10 @@ mod tests {
             let max = *sizes.iter().max().unwrap();
             assert!(max - min <= 1, "sizes differ by more than one: {sizes:?}");
             assert!(max <= r, "group too large for n={n} r={r}: {sizes:?}");
-            assert!(min * 2 >= r, "group smaller than r/2 for n={n} r={r}: {sizes:?}");
+            assert!(
+                min * 2 >= r,
+                "group smaller than r/2 for n={n} r={r}: {sizes:?}"
+            );
         }
     }
 

@@ -262,6 +262,9 @@ mod tests {
                 }
             }
         }
-        assert!(satisfies_safe_shape(&c), "generations 5 and 0 are consecutive mod 6");
+        assert!(
+            satisfies_safe_shape(&c),
+            "generations 5 and 0 are consecutive mod 6"
+        );
     }
 }

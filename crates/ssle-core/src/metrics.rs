@@ -80,10 +80,7 @@ pub fn state_bits(params: &Params) -> StateBits {
         + (params.signature_period(m as usize) as f64).log2()
         + cells * content_bits // msgs
         + cells * m.powi(5).max(2.0).log2(); // observations
-    let verifying = log2_n
-        + (6f64).log2()
-        + (params.probation_max() as f64 + 1.0).log2()
-        + dc_bits;
+    let verifying = log2_n + (6f64).log2() + (params.probation_max() as f64 + 1.0).log2() + dc_bits;
 
     StateBits {
         resetting,
@@ -101,7 +98,9 @@ pub fn measured_state_bytes(state: &AgentState) -> usize {
         AgentState::Ranking(r) => {
             let channel = r.qar.channel.capacity() * std::mem::size_of::<u32>();
             let phase = match &r.qar.phase {
-                RankPhase::LeaderElection(_) => std::mem::size_of::<crate::ranking::LeaderElectionState>(),
+                RankPhase::LeaderElection(_) => {
+                    std::mem::size_of::<crate::ranking::LeaderElectionState>()
+                }
                 _ => 0,
             };
             base + channel + phase
@@ -110,10 +109,7 @@ pub fn measured_state_bytes(state: &AgentState) -> usize {
             let dc = match v.sv.dc.active() {
                 Some(active) => {
                     let msgs: usize = (0..active.msgs.group_size())
-                        .map(|g| {
-                            active.msgs.messages_for(g).len()
-                                * std::mem::size_of::<crate::verify::Message>()
-                        })
+                        .map(|g| std::mem::size_of_val(active.msgs.messages_for(g)))
                         .sum();
                     let obs = active.observations.len() * std::mem::size_of::<u64>();
                     msgs + obs
@@ -167,7 +163,11 @@ mod tests {
         let a = state_bits(&Params::new(64, 4).unwrap()).total();
         let b = state_bits(&Params::new(4096, 4).unwrap()).total();
         assert!(b > a, "bits must grow with n ({a} -> {b})");
-        assert!(b / a < 2.0, "growth should be sub-linear in n, ratio was {}", b / a);
+        assert!(
+            b / a < 2.0,
+            "growth should be sub-linear in n, ratio was {}",
+            b / a
+        );
     }
 
     #[test]

@@ -96,12 +96,18 @@ impl Params {
         }
         if r < 1 || r > n / 2 {
             return Err(SimError::InvalidParameters {
-                reason: format!("trade-off parameter r = {r} must satisfy 1 <= r <= n/2 = {}", n / 2),
+                reason: format!(
+                    "trade-off parameter r = {r} must satisfy 1 <= r <= n/2 = {}",
+                    n / 2
+                ),
             });
         }
         if constants.c_label <= 1.0 {
             return Err(SimError::InvalidParameters {
-                reason: format!("label blow-up c_label = {} must exceed 1", constants.c_label),
+                reason: format!(
+                    "label blow-up c_label = {} must exceed 1",
+                    constants.c_label
+                ),
             });
         }
         Ok(Params { n, r, constants })
@@ -203,8 +209,10 @@ mod tests {
 
     #[test]
     fn invalid_label_blowup_rejected() {
-        let mut c = Constants::default();
-        c.c_label = 1.0;
+        let c = Constants {
+            c_label: 1.0,
+            ..Default::default()
+        };
         assert!(Params::with_constants(64, 8, c).is_err());
     }
 
@@ -227,7 +235,7 @@ mod tests {
         assert_eq!(p.message_ids_per_rank(4), 32);
         assert!(p.signature_period(1) >= 2);
         assert_eq!(p.identifier_space(), 64u64.pow(3));
-        assert!(p.labels_per_deputy() as usize * p.r >= p.n + 1);
+        assert!(p.labels_per_deputy() as usize * p.r > p.n);
     }
 
     #[test]

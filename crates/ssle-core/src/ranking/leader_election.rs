@@ -113,8 +113,9 @@ mod tests {
     fn minimum_propagates_and_unique_leader_emerges() {
         let params = Params::new(8, 4).unwrap();
         let n = 8usize;
-        let mut states: Vec<LeaderElectionState> =
-            (0..n).map(|_| LeaderElectionState::fresh(&params)).collect();
+        let mut states: Vec<LeaderElectionState> = (0..n)
+            .map(|_| LeaderElectionState::fresh(&params))
+            .collect();
         let mut rng = SimRng::seed_from_u64(7);
         use rand::RngCore;
         for step in 0..20_000u64 {

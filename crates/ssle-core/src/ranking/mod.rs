@@ -314,9 +314,9 @@ fn sleep_step(params: &Params, u: &mut RankState, v: &mut RankState) {
     }
 
     // A sleeper whose timer has expired wakes up, taking its partner along.
-    let expired = [&*u, &*v].iter().any(|a| {
-        matches!(a.phase, RankPhase::Sleeper { timer, .. } if timer >= params.sleep_max())
-    });
+    let expired = [&*u, &*v].iter().any(
+        |a| matches!(a.phase, RankPhase::Sleeper { timer, .. } if timer >= params.sleep_max()),
+    );
     if expired {
         become_ranked(u);
         become_ranked(v);
@@ -343,11 +343,7 @@ fn become_ranked(agent: &mut RankState) {
     let Some(label) = agent.effective_label() else {
         return;
     };
-    let prefix: u32 = agent
-        .channel
-        .iter()
-        .take((label.deputy - 1) as usize)
-        .sum();
+    let prefix: u32 = agent.channel.iter().take((label.deputy - 1) as usize).sum();
     agent.rank = prefix + label.index;
     agent.phase = RankPhase::Ranked;
     agent.channel = Vec::new();
@@ -377,7 +373,7 @@ fn merge_channels(params: &Params, u: &mut RankState, v: &mut RankState) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppsim::{SimRng, InteractionCtx};
+    use ppsim::{InteractionCtx, SimRng};
     use rand::RngCore;
 
     fn params(n: usize, r: usize) -> Params {
@@ -438,16 +434,34 @@ mod tests {
         };
         deputize(&mut sheriff, &mut rec1);
         // sheriff keeps 1..=2, rec1 gets 3..=4; neither collapses yet.
-        assert!(matches!(sheriff.phase, RankPhase::Sheriff { low_badge: 1, high_badge: 2 }));
-        assert!(matches!(rec1.phase, RankPhase::Sheriff { low_badge: 3, high_badge: 4 }));
+        assert!(matches!(
+            sheriff.phase,
+            RankPhase::Sheriff {
+                low_badge: 1,
+                high_badge: 2
+            }
+        ));
+        assert!(matches!(
+            rec1.phase,
+            RankPhase::Sheriff {
+                low_badge: 3,
+                high_badge: 4
+            }
+        ));
         let mut rec2 = RankState {
             phase: RankPhase::Recipient { label: None },
             channel: vec![0; 4],
             rank: 1,
         };
         deputize(&mut sheriff, &mut rec2);
-        assert!(matches!(sheriff.phase, RankPhase::Deputy { id: 1, counter: 1 }));
-        assert!(matches!(rec2.phase, RankPhase::Deputy { id: 2, counter: 1 }));
+        assert!(matches!(
+            sheriff.phase,
+            RankPhase::Deputy { id: 1, counter: 1 }
+        ));
+        assert!(matches!(
+            rec2.phase,
+            RankPhase::Deputy { id: 2, counter: 1 }
+        ));
         assert_eq!(sheriff.channel[0], 1);
         assert_eq!(rec2.channel[1], 1);
     }
@@ -467,17 +481,26 @@ mod tests {
         };
         // Channel sums to 1 < r = 4: labeling locked.
         labeling(&p, &mut deputy, &mut recipient);
-        assert!(matches!(recipient.phase, RankPhase::Recipient { label: None }));
+        assert!(matches!(
+            recipient.phase,
+            RankPhase::Recipient { label: None }
+        ));
         // Unlock by filling the channel.
         deputy.channel = vec![1, 1, 1, 1];
         labeling(&p, &mut deputy, &mut recipient);
         assert_eq!(
             recipient.phase,
             RankPhase::Recipient {
-                label: Some(Label { deputy: 2, index: 2 })
+                label: Some(Label {
+                    deputy: 2,
+                    index: 2
+                })
             }
         );
-        assert!(matches!(deputy.phase, RankPhase::Deputy { id: 2, counter: 2 }));
+        assert!(matches!(
+            deputy.phase,
+            RankPhase::Deputy { id: 2, counter: 2 }
+        ));
         assert_eq!(deputy.channel[1], 2);
     }
 
@@ -499,7 +522,10 @@ mod tests {
             rank: 1,
         };
         labeling(&p, &mut deputy, &mut recipient);
-        assert!(matches!(recipient.phase, RankPhase::Recipient { label: None }));
+        assert!(matches!(
+            recipient.phase,
+            RankPhase::Recipient { label: None }
+        ));
     }
 
     #[test]
@@ -509,14 +535,20 @@ mod tests {
         // agents to sleep.
         let mut a = RankState {
             phase: RankPhase::Recipient {
-                label: Some(Label { deputy: 1, index: 2 }),
+                label: Some(Label {
+                    deputy: 1,
+                    index: 2,
+                }),
             },
             channel: vec![5, 0],
             rank: 1,
         };
         let mut b = RankState {
             phase: RankPhase::Recipient {
-                label: Some(Label { deputy: 2, index: 3 }),
+                label: Some(Label {
+                    deputy: 2,
+                    index: 3,
+                }),
             },
             channel: vec![2, 3],
             rank: 1,
@@ -532,7 +564,10 @@ mod tests {
         let mut agent = RankState {
             phase: RankPhase::Sleeper {
                 timer: 5,
-                label: Some(Label { deputy: 3, index: 2 }),
+                label: Some(Label {
+                    deputy: 3,
+                    index: 2,
+                }),
             },
             channel: vec![4, 3, 5, 4],
             rank: 1,
@@ -556,7 +591,10 @@ mod tests {
         let mut sleeper = RankState {
             phase: RankPhase::Sleeper {
                 timer: 1,
-                label: Some(Label { deputy: 1, index: 2 }),
+                label: Some(Label {
+                    deputy: 1,
+                    index: 2,
+                }),
             },
             channel: vec![4, 4],
             rank: 1,
@@ -573,7 +611,10 @@ mod tests {
         let mut sleeper = RankState {
             phase: RankPhase::Sleeper {
                 timer: 1,
-                label: Some(Label { deputy: 1, index: 2 }),
+                label: Some(Label {
+                    deputy: 1,
+                    index: 2,
+                }),
             },
             channel: vec![4, 4],
             rank: 1,
@@ -587,7 +628,10 @@ mod tests {
         assert!(awake.is_sleeper());
         assert_eq!(
             awake.effective_label(),
-            Some(Label { deputy: 2, index: 1 }),
+            Some(Label {
+                deputy: 2,
+                index: 1
+            }),
             "a deputy carries its implicit label into sleep"
         );
     }
@@ -599,7 +643,10 @@ mod tests {
         let mut a = RankState {
             phase: RankPhase::Sleeper {
                 timer: max,
-                label: Some(Label { deputy: 1, index: 1 }),
+                label: Some(Label {
+                    deputy: 1,
+                    index: 1,
+                }),
             },
             channel: vec![4, 4],
             rank: 1,
@@ -607,7 +654,10 @@ mod tests {
         let mut b = RankState {
             phase: RankPhase::Sleeper {
                 timer: 1,
-                label: Some(Label { deputy: 2, index: 3 }),
+                label: Some(Label {
+                    deputy: 2,
+                    index: 3,
+                }),
             },
             channel: vec![4, 4],
             rank: 1,
@@ -620,7 +670,13 @@ mod tests {
 
     #[test]
     fn full_protocol_produces_a_permutation_of_ranks() {
-        for (n, r, seed) in [(16usize, 4usize, 1u64), (16, 8, 2), (24, 2, 3), (12, 6, 4), (16, 1, 5)] {
+        for (n, r, seed) in [
+            (16usize, 4usize, 1u64),
+            (16, 8, 2),
+            (24, 2, 3),
+            (12, 6, 4),
+            (16, 1, 5),
+        ] {
             let p = params(n, r);
             let states = run_assign_ranks(&p, seed, 4_000_000);
             assert!(

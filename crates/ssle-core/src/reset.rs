@@ -134,7 +134,10 @@ mod tests {
         propagate_reset(&p, &mut u, &mut v);
         assert_eq!(v, v_before, "a dormant resetter never infects");
         // Instead, the dormant agent is woken by the computing partner.
-        assert!(u.is_ranking(), "meeting a computing agent restarts the dormant agent");
+        assert!(
+            u.is_ranking(),
+            "meeting a computing agent restarts the dormant agent"
+        );
     }
 
     #[test]
@@ -225,7 +228,10 @@ mod tests {
                 break;
             }
         }
-        assert!(saw_fully_dormant, "the population must pass through full dormancy");
+        assert!(
+            saw_fully_dormant,
+            "the population must pass through full dormancy"
+        );
         assert!(
             all_computing_after_dormant,
             "after dormancy every agent must restart as a ranker"

@@ -74,7 +74,11 @@ impl DetectCollisionState {
 /// [`INITIAL_CONTENT`], and the contiguous block of message IDs determined by
 /// the rank's position within its group, for every governing rank of the
 /// group.
-pub fn initial_state(params: &Params, partition: &GroupPartition, rank: u32) -> DetectCollisionState {
+pub fn initial_state(
+    params: &Params,
+    partition: &GroupPartition,
+    rank: u32,
+) -> DetectCollisionState {
     let m = partition.group_size_of(rank);
     let ids = params.message_ids_per_rank(m);
     let position = partition.position_in_group(rank);
@@ -112,7 +116,10 @@ pub fn detect_collision(
     // Line 3–4: shared rank or two copies of the same circulating message is
     // an immediate, obvious collision.
     let obvious = {
-        let (u, v) = (u_dc.active().expect("checked"), v_dc.active().expect("checked"));
+        let (u, v) = (
+            u_dc.active().expect("checked"),
+            v_dc.active().expect("checked"),
+        );
         u_rank == v_rank || u.msgs.shares_message_with(&v.msgs)
     };
     if obvious {
@@ -123,7 +130,10 @@ pub fn detect_collision(
 
     // Line 5: CheckMessageConsistency both ways (may raise the error).
     let inconsistent = {
-        let (u, v) = (u_dc.active().expect("checked"), v_dc.active().expect("checked"));
+        let (u, v) = (
+            u_dc.active().expect("checked"),
+            v_dc.active().expect("checked"),
+        );
         check_message_consistency(partition, u_rank, u, v)
             || check_message_consistency(partition, v_rank, v, u)
     };
@@ -220,9 +230,8 @@ pub fn balance_load(u: &mut CollisionState, v: &mut CollisionState, group_size: 
         // Combine both agents' messages for this governor. IDs are disjoint:
         // a shared ID would have been caught as an obvious collision before
         // load balancing runs.
-        let mut combined: Vec<Message> = Vec::with_capacity(
-            u.msgs.count_for(governor) + v.msgs.count_for(governor),
-        );
+        let mut combined: Vec<Message> =
+            Vec::with_capacity(u.msgs.count_for(governor) + v.msgs.count_for(governor));
         combined.extend_from_slice(u.msgs.messages_for(governor));
         combined.extend_from_slice(v.msgs.messages_for(governor));
         combined.sort_by_key(|m| (m.content, m.id));
@@ -258,8 +267,10 @@ pub fn balance_load(u: &mut CollisionState, v: &mut CollisionState, group_size: 
     for governor in 0..group_size {
         u_new[governor].sort_by_key(|m| m.id);
         v_new[governor].sort_by_key(|m| m.id);
-        u.msgs.set_messages_for(governor, std::mem::take(&mut u_new[governor]));
-        v.msgs.set_messages_for(governor, std::mem::take(&mut v_new[governor]));
+        u.msgs
+            .set_messages_for(governor, std::mem::take(&mut u_new[governor]));
+        v.msgs
+            .set_messages_for(governor, std::mem::take(&mut v_new[governor]));
     }
 }
 
@@ -370,7 +381,10 @@ mod tests {
         run_interaction(&params, &partition, 1, &mut u, 2, &mut v, 1);
         assert!(!u.is_error() && !v.is_error());
         let total_after = active(&u).msgs.total() + active(&v).msgs.total();
-        assert_eq!(total_before, total_after, "load balancing must conserve messages");
+        assert_eq!(
+            total_before, total_after,
+            "load balancing must conserve messages"
+        );
     }
 
     #[test]
@@ -420,7 +434,10 @@ mod tests {
         let sig_before = u_state.signature;
         update_messages(&params, &partition, 1, u_state, v_state, &mut ctx);
         assert_eq!(u_state.counter, 2);
-        assert_eq!(u_state.signature, sig_before, "signature unchanged before the period");
+        assert_eq!(
+            u_state.signature, sig_before,
+            "signature unchanged before the period"
+        );
     }
 
     #[test]
@@ -476,7 +493,10 @@ mod tests {
             };
             let mut ctx = InteractionCtx::new(&mut rng, step);
             detect_collision(&params, &partition, ranks[i], a, ranks[j], b, &mut ctx);
-            assert!(!a.is_error() && !b.is_error(), "false positive at step {step}");
+            assert!(
+                !a.is_error() && !b.is_error(),
+                "false positive at step {step}"
+            );
         }
         // Message conservation across the whole run.
         let m = partition.group_size(0);

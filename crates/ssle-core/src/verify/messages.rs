@@ -58,7 +58,10 @@ impl MessageStore {
     /// block of length `ids_per_rank / group_size` determined by
     /// `own_position`, all with [`INITIAL_CONTENT`].
     pub fn initial(group_size: usize, ids_per_rank: u32, own_position: usize) -> Self {
-        assert!(own_position < group_size, "position must lie inside the group");
+        assert!(
+            own_position < group_size,
+            "position must lie inside the group"
+        );
         let block = ids_per_rank / group_size as u32;
         let start = own_position as u32 * block + 1;
         let end = if own_position == group_size - 1 {
@@ -219,8 +222,7 @@ mod tests {
     fn initial_blocks_tile_the_id_space() {
         let m = 4usize;
         let ids = 2 * (m as u32).pow(2); // 32
-        let stores: Vec<MessageStore> =
-            (0..m).map(|p| MessageStore::initial(m, ids, p)).collect();
+        let stores: Vec<MessageStore> = (0..m).map(|p| MessageStore::initial(m, ids, p)).collect();
         // Every (governor, id) pair appears exactly once across the group.
         for governor in 0..m {
             let mut seen = vec![0u32; ids as usize + 1];
@@ -230,7 +232,10 @@ mod tests {
                     assert_eq!(msg.content, INITIAL_CONTENT);
                 }
             }
-            assert!(seen[1..].iter().all(|&c| c == 1), "governor {governor}: {seen:?}");
+            assert!(
+                seen[1..].iter().all(|&c| c == 1),
+                "governor {governor}: {seen:?}"
+            );
         }
         // Every agent holds ids/m messages of each rank.
         for store in &stores {

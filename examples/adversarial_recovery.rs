@@ -52,5 +52,7 @@ fn main() {
         }
     }
     println!();
-    println!("Every scenario should recover: that is the self-stabilization guarantee of Theorem 1.1.");
+    println!(
+        "Every scenario should recover: that is the self-stabilization guarantee of Theorem 1.1."
+    );
 }

@@ -58,7 +58,9 @@ fn main() {
         naive_total / trials as f64,
         naive_total / trials as f64 / n as f64
     );
-    println!("The message-based mechanism should win by a growing factor as n grows (Section 3.1).");
+    println!(
+        "The message-based mechanism should win by a growing factor as n grows (Section 3.1)."
+    );
 }
 
 /// Simulates the naive baseline: how many uniformly random ordered pairs are

@@ -26,7 +26,10 @@ fn main() {
     println!("ElectLeader_r quickstart");
     println!("  population size n  = {n}");
     println!("  trade-off param r  = {r}");
-    println!("  rank groups        = {}", protocol.partition().num_groups());
+    println!(
+        "  rank groups        = {}",
+        protocol.partition().num_groups()
+    );
     println!("  interaction budget = {budget}");
     println!();
 
@@ -50,7 +53,9 @@ fn main() {
                 .iter()
                 .position(|s| s.verified_rank() == Some(1))
                 .expect("a leader exists");
-            println!("  the leader is population slot #{leader} (the agent that committed to rank 1)");
+            println!(
+                "  the leader is population slot #{leader} (the agent that committed to rank 1)"
+            );
         }
         None => {
             println!(

@@ -1,0 +1,13 @@
+//! The `harness` crate: the workspace root package.
+//!
+//! Exists to house the repo-level integration suites in `tests/` and the
+//! runnable examples in `examples/`, and re-exports the workspace crates so
+//! both can reach the whole stack through one dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use analysis;
+pub use baselines;
+pub use ppsim;
+pub use ssle_core;

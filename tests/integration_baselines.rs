@@ -42,7 +42,10 @@ fn every_baseline_converges_at_small_scale() {
     assert!(ciw > 0.0 && direct > 0.0 && min_id > 0.0 && loose > 0.0);
     // The non-self-stabilizing min-ID reference line is far faster than the
     // Θ(n²)-time ranking baselines.
-    assert!(min_id < ciw, "min-ID ({min_id}) should beat Cai-Izumi-Wada ({ciw})");
+    assert!(
+        min_id < ciw,
+        "min-ID ({min_id}) should beat Cai-Izumi-Wada ({ciw})"
+    );
 }
 
 #[test]
@@ -87,6 +90,10 @@ fn baselines_and_core_share_the_same_simulation_substrate() {
     let sim = Simulation::new(ciw, Configuration::clean(&CaiIzumiWada::new(8)), 0);
     assert_eq!(sim.configuration().len(), 8);
     let el = ElectLeader::with_n_r(8, 4).unwrap();
-    let sim = Simulation::new(el, Configuration::clean(&ElectLeader::with_n_r(8, 4).unwrap()), 0);
+    let sim = Simulation::new(
+        el,
+        Configuration::clean(&ElectLeader::with_n_r(8, 4).unwrap()),
+        0,
+    );
     assert_eq!(sim.configuration().len(), 8);
 }

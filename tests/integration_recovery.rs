@@ -94,12 +94,18 @@ fn mid_run_corruption_is_also_repaired() {
     for i in 0..n / 2 {
         sim.configuration_mut()[i] = leader_state.clone();
     }
-    assert!(!output::is_correct_output(sim.configuration()) || output::leader_count(sim.configuration()) == 1);
+    assert!(
+        !output::is_correct_output(sim.configuration())
+            || output::leader_count(sim.configuration()) == 1
+    );
 
     let second = sim.measure_stabilization(
         output::is_correct_output,
         StabilizationOptions::new(n, budget),
     );
-    assert!(second.stabilized(), "must re-stabilize after mid-run corruption");
+    assert!(
+        second.stabilized(),
+        "must re-stabilize after mid-run corruption"
+    );
     assert!(output::has_unique_leader(sim.configuration()));
 }

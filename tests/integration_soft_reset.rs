@@ -41,7 +41,10 @@ fn soft_reset_advances_the_generation_counter() {
         },
         budget,
     );
-    assert!(outcome.satisfied, "a soft reset (generation advance) must occur");
+    assert!(
+        outcome.satisfied,
+        "a soft reset (generation advance) must occur"
+    );
     assert!(
         output::is_correct_output(sim.configuration()),
         "the ranking must still be correct when the first soft reset fires"

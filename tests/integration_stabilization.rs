@@ -55,7 +55,10 @@ fn protocol_traits_agree_with_output_helpers() {
     let sim = stabilize(16, 8, 11);
     let protocol = sim.protocol();
     let states = sim.configuration().as_slice();
-    assert_eq!(protocol.leader_count(states), output::leader_count(sim.configuration()));
+    assert_eq!(
+        protocol.leader_count(states),
+        output::leader_count(sim.configuration())
+    );
     assert!(protocol.is_correct_ranking(states));
     // Ranks are exactly 1..=n.
     let mut ranks: Vec<usize> = states.iter().map(|s| protocol.rank(s).unwrap()).collect();
@@ -78,7 +81,10 @@ fn stabilized_configuration_stays_correct_under_further_interactions() {
         .iter()
         .map(|s| s.verified_rank())
         .collect();
-    assert_eq!(ranks_before, ranks_after, "ranks must never change after stabilization");
+    assert_eq!(
+        ranks_before, ranks_after,
+        "ranks must never change after stabilization"
+    );
     assert!(output::is_correct_output(sim.configuration()));
 }
 
@@ -97,7 +103,10 @@ fn different_seeds_may_elect_different_leaders_but_always_exactly_one() {
     }
     // Anonymous agents: over several seeds the leader should not always be
     // the same population slot.
-    assert!(leaders.len() > 1, "leader should depend on the random schedule");
+    assert!(
+        leaders.len() > 1,
+        "leader should depend on the random schedule"
+    );
 }
 
 #[test]
@@ -107,5 +116,8 @@ fn interaction_metrics_are_consistent_after_a_run() {
     assert_eq!(metrics.total(), sim.interactions());
     // Every agent interacted at least once in a run long enough to stabilize.
     assert!(metrics.min() > 0);
-    assert!(metrics.max_imbalance() < 3.0, "per-agent interaction counts stay balanced");
+    assert!(
+        metrics.max_imbalance() < 3.0,
+        "per-agent interaction counts stay balanced"
+    );
 }

@@ -1,0 +1,477 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with ranges / tuples /
+//! [`strategy::Just`] / `prop_flat_map` / `prop_map`, [`arbitrary::any`],
+//! [`collection::vec`], and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking** — a failing case panics with the generated inputs
+//!   visible in the assertion message, but is not minimized.
+//! * **Deterministic seeding** — each test derives its RNG seed from its own
+//!   module path, so failures reproduce exactly across runs and machines.
+//! * `prop_assume!` skips the current case via `continue` and must therefore
+//!   appear at the top level of the test body (before any loop), which is
+//!   how this workspace uses it.
+//!
+//! The number of cases per property defaults to 64 and can be raised with
+//! the `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! The per-test RNG and case-count configuration.
+
+    /// Number of cases to run per property: `PROPTEST_CASES` or 64.
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64)
+    }
+
+    /// A small, fast SplitMix64 generator driving strategy sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator seeded deterministically from a test name.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the fully qualified test name.
+            let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: hash }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Returns a uniform value in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of one type.
+    ///
+    /// Unlike real proptest there is no value tree: `generate` directly
+    /// yields a value and failing cases are not shrunk.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Derives a dependent strategy from each generated value.
+        fn prop_flat_map<F, S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> S,
+            S: Strategy,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Transforms generated values.
+        fn prop_map<F, T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+        T: Strategy,
+    {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let base = self.base.generate(rng);
+            (self.f)(base).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    macro_rules! integer_range_strategies {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (u128::from(rng.next_u64()) % span) as i128;
+                    (self.start as i128 + offset) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let offset = (u128::from(rng.next_u64()) % span) as i128;
+                    (lo as i128 + offset) as $ty
+                }
+            }
+        )*};
+    }
+
+    integer_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.next_f64()
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_f64()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns a strategy generating unconstrained values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive-exclusive size band for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty collection size range");
+            SizeRange {
+                lo: range.start,
+                hi: range.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> Self {
+            assert!(range.start() <= range.end(), "empty collection size range");
+            SizeRange {
+                lo: *range.start(),
+                hi: *range.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports for property tests, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests: `fn name(binding in strategy, ...) { body }`.
+///
+/// Each declared function becomes an ordinary `#[test]` (the attribute is
+/// written inside the macro body, as with real proptest) that runs the body
+/// for [`test_runner::cases`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for _case in 0..$crate::test_runner::cases() {
+                    $(let $pat =
+                        $crate::strategy::Strategy::generate(&$strat, &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure; the real
+/// crate would shrink first).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => {
+        assert!($($arg)*)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => {
+        assert_eq!($($arg)*)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => {
+        assert_ne!($($arg)*)
+    };
+}
+
+/// Skips the current generated case when its inputs don't satisfy a
+/// precondition. Must appear at the top level of the test body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges generate in-bounds values; assume skips cases.
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..17, x in -4i64..=4, f in 0.5f64..2.0) {
+            prop_assume!(n != 3);
+            prop_assert!((4..17).contains(&n));
+            prop_assert!((-4..=4).contains(&x));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        /// Flat-mapped tuples respect dependent bounds.
+        #[test]
+        fn flat_map_dependent_pairs((n, k) in (2usize..20).prop_flat_map(|n| (Just(n), 0usize..n))) {
+            prop_assert!(k < n);
+        }
+
+        /// Collection strategies respect the size band.
+        #[test]
+        fn vec_sizes_in_band(v in prop::collection::vec(any::<bool>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRng::for_test("x");
+        let mut b = crate::test_runner::TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_test("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let mut rng = crate::test_runner::TestRng::for_test("map");
+        let doubled = (1usize..10).prop_map(|v| v * 2).generate(&mut rng);
+        assert!(doubled % 2 == 0 && (2..20).contains(&doubled));
+    }
+}

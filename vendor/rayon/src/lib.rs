@@ -1,0 +1,122 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! Exposes the `par_iter`/`par_iter_mut`/`into_par_iter` entry points and
+//! [`join`] with **sequential** semantics: every "parallel iterator" is just
+//! the corresponding ordinary iterator. Call sites written against rayon's
+//! API compile and run correctly (single-threaded); swapping the real crate
+//! back in is a one-line `Cargo.toml` change that transparently re-enables
+//! parallelism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Runs both closures (sequentially, in order) and returns their results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Types that can produce a "parallel" (here: sequential) iterator by value.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item;
+    /// The iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Converts `self` into an iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Types whose references can produce a "parallel" iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type.
+    type Item: 'data;
+    /// The iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Iterates over `&self`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = core::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = core::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// Types whose mutable references can produce a "parallel" iterator.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The element type.
+    type Item: 'data;
+    /// The iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Iterates over `&mut self`.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = core::slice::IterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = core::slice::IterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+pub mod prelude {
+    //! The rayon prelude: parallel-iterator entry-point traits.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_fallbacks_behave_like_iterators() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let mut w = vec![1, 2, 3];
+        w.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(w, vec![11, 12, 13]);
+        let sum: i32 = (1..=4).into_par_iter().sum();
+        assert_eq!(sum, 10);
+        let (a, b) = super::join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+}

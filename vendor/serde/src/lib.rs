@@ -1,0 +1,18 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! (no-op) derive macros so `#[derive(Serialize, Deserialize)]` and
+//! `use serde::{Deserialize, Serialize}` compile unchanged. No data-format
+//! machinery is included: the workspace writes Markdown/CSV/JSON by hand in
+//! `analysis::Table`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace only derives `Serialize`/`Deserialize` to keep result types
+//! serialization-ready; nothing in the tree requires the trait bounds at the
+//! moment (JSON/CSV output is hand-rolled in `analysis::Table`). The derives
+//! therefore expand to nothing, while still accepting `#[serde(...)]` helper
+//! attributes so annotated types keep compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
