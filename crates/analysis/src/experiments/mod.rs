@@ -10,11 +10,13 @@
 //!   (collision-detection latency, Lemma E.1),
 //! * [`comparison`] — E6 (`ElectLeader_r` versus the baseline protocols),
 //! * [`substrate`] — E8 (epidemic constant and load balancing) and E9
-//!   (synthetic-coin quality, Appendix B).
+//!   (synthetic-coin quality, Appendix B),
+//! * [`scaling`] — E10 (batched vs per-step engine throughput at large `n`).
 
 pub mod comparison;
 pub mod recovery;
 pub mod reset;
+pub mod scaling;
 pub mod substrate;
 pub mod tradeoff;
 
@@ -26,7 +28,7 @@ use ppsim::simulation::StabilizationOptions;
 use ppsim::{Configuration, SimRng, Simulation};
 use ssle_core::{output, ElectLeader, Scenario};
 
-/// Runs every experiment at the given scale, in E1…E9 order.
+/// Runs every experiment at the given scale, in E1…E10 order.
 pub fn all(scale: Scale) -> Vec<Table> {
     vec![
         tradeoff::e1_tradeoff_time(scale),
@@ -38,12 +40,14 @@ pub fn all(scale: Scale) -> Vec<Table> {
         reset::e7_soft_reset(scale),
         substrate::e8_substrate(scale),
         substrate::e9_coin(scale),
+        scaling::e10_engine_scale(scale),
     ]
 }
 
-/// Looks up a single experiment by its identifier (`"e1"` … `"e9"`).
+/// Looks up a single experiment by its identifier (`"e1"` … `"e10"`).
 pub fn by_id(id: &str, scale: Scale) -> Option<Table> {
     match id {
+        "e10" => Some(scaling::e10_engine_scale(scale)),
         "e1" => Some(tradeoff::e1_tradeoff_time(scale)),
         "e2" => Some(tradeoff::e2_state_space(scale)),
         "e3" => Some(reset::e3_post_reset(scale)),

@@ -1,0 +1,146 @@
+//! E10 — the engine scale sweep: batched vs per-step epidemic throughput.
+//!
+//! The ROADMAP's north star asks for stabilization-time curves at realistic
+//! scale (`n ≥ 10⁶`, `Θ(n · polylog n)` interactions), which the per-agent
+//! engine cannot reach: it pays for every interaction. This experiment runs
+//! the one-way epidemic to completion under both engines across a grid of
+//! population sizes and reports wall-clock throughput, making the batched
+//! engine's advantage (and any regression of it) visible as a table.
+
+use crate::scale::Scale;
+use crate::table::{fmt_f64, Table};
+use ppsim::epidemic::{
+    measure_epidemic_time_batched, measure_epidemic_time_coarse, OneWayEpidemic,
+};
+use ppsim::rng::derive_seed;
+use std::time::Instant;
+
+/// Measurements of one engine at one population size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineThroughput {
+    /// Mean interactions until epidemic completion.
+    pub mean_interactions: f64,
+    /// Mean wall-clock milliseconds per completion run.
+    pub mean_wall_ms: f64,
+}
+
+impl EngineThroughput {
+    /// Simulated interactions per wall-clock second, in millions.
+    pub fn interactions_per_us(&self) -> f64 {
+        self.mean_interactions / (self.mean_wall_ms * 1_000.0)
+    }
+}
+
+/// Runs `trials` one-way-epidemic completions at population size `n` under
+/// one engine and averages interactions and wall time.
+pub fn epidemic_throughput(
+    n: usize,
+    trials: usize,
+    base_seed: u64,
+    batched: bool,
+) -> EngineThroughput {
+    let nf = n as f64;
+    let budget = (50.0 * nf * nf.ln().max(1.0)).ceil() as u64;
+    let mut total_interactions = 0u64;
+    let started = Instant::now();
+    for trial in 0..trials {
+        let seed = derive_seed(base_seed, trial as u64);
+        let protocol = OneWayEpidemic::new(n, 1);
+        let t = if batched {
+            measure_epidemic_time_batched(protocol, seed, budget)
+        } else {
+            // Coarse completion checks (< 1% overshoot): an every-interaction
+            // O(n) predicate would measure the predicate, not the engine.
+            measure_epidemic_time_coarse(protocol, seed, budget, (n as u64 / 8).max(256))
+        };
+        total_interactions += t.expect("epidemic completes within 50 n ln n");
+    }
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    EngineThroughput {
+        mean_interactions: total_interactions as f64 / trials as f64,
+        mean_wall_ms: elapsed_ms / trials as f64,
+    }
+}
+
+/// E10 — batched vs per-step engine throughput on the one-way epidemic.
+pub fn e10_engine_scale(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E10 — engine scale sweep: batched vs per-step epidemic throughput",
+        &[
+            "n",
+            "engine",
+            "trials",
+            "mean interactions",
+            "mean parallel time",
+            "mean wall ms",
+            "M interactions/s",
+        ],
+    );
+    let trials = scale.trials();
+    let mut speedups: Vec<(usize, f64)> = Vec::new();
+    for &n in &scale.batched_n_values() {
+        let base_seed = derive_seed(scale.base_seed() ^ 0xE10, n as u64);
+        let batched = epidemic_throughput(n, trials, base_seed, true);
+        let per_step = if n <= scale.per_step_n_cap() {
+            Some(epidemic_throughput(n, trials, base_seed, false))
+        } else {
+            None
+        };
+        for (engine, m) in [("batched", Some(batched)), ("per-step", per_step)] {
+            if let Some(m) = m {
+                table.push_row([
+                    n.to_string(),
+                    engine.to_string(),
+                    trials.to_string(),
+                    fmt_f64(m.mean_interactions),
+                    fmt_f64(m.mean_interactions / n as f64),
+                    fmt_f64(m.mean_wall_ms),
+                    fmt_f64(m.interactions_per_us()),
+                ]);
+            }
+        }
+        if let Some(per_step) = per_step {
+            speedups.push((n, per_step.mean_wall_ms / batched.mean_wall_ms.max(1e-9)));
+        }
+    }
+    for (n, speedup) in speedups {
+        table.push_note(format!(
+            "n = {n}: batched engine {speedup:.1}× faster wall-clock than per-step"
+        ));
+    }
+    table.push_note(
+        "Expected shape: per-step throughput is flat in n while batched throughput grows \
+         roughly like the interactions-per-state-change ratio 2 ln n; both engines report \
+         completion interactions near 2 n ln n."
+            .to_string(),
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_measures_sane_values() {
+        let m = epidemic_throughput(512, 2, 3, true);
+        let nf = 512f64;
+        // Completion near 2 n ln n, within loose Monte-Carlo bounds.
+        assert!(m.mean_interactions > nf);
+        assert!(m.mean_interactions < 10.0 * nf * nf.ln());
+        assert!(m.mean_wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn e10_reports_both_engines_up_to_the_cap() {
+        let table = e10_engine_scale(Scale::Tiny);
+        let batched_rows = table.rows.iter().filter(|r| r[1] == "batched").count();
+        let per_step_rows = table.rows.iter().filter(|r| r[1] == "per-step").count();
+        assert_eq!(batched_rows, Scale::Tiny.batched_n_values().len());
+        assert!(per_step_rows >= 1, "the comparison rows must exist");
+        for row in &table.rows {
+            let interactions: f64 = row[3].parse().unwrap();
+            assert!(interactions > 0.0);
+        }
+    }
+}

@@ -84,6 +84,30 @@ impl Scale {
         }
     }
 
+    /// The population sizes used by the batched-engine scale sweep (E10).
+    ///
+    /// These are orders of magnitude beyond [`Scale::n_values`]: the batched
+    /// engine's cost is proportional to state-*changing* interactions, so
+    /// populations of 10⁶–10⁷ agents stay cheap.
+    pub fn batched_n_values(self) -> Vec<usize> {
+        match self {
+            Scale::Tiny => vec![1_000, 10_000],
+            Scale::Quick => vec![10_000, 100_000, 1_000_000],
+            Scale::Full => vec![100_000, 1_000_000, 10_000_000],
+        }
+    }
+
+    /// The largest population the *per-step* engine is run at in the E10
+    /// sweep (beyond this only the batched engine runs — per-step cost grows
+    /// as `Θ(n log n)` interactions each paid individually).
+    pub fn per_step_n_cap(self) -> usize {
+        match self {
+            Scale::Tiny => 10_000,
+            Scale::Quick => 100_000,
+            Scale::Full => 1_000_000,
+        }
+    }
+
     /// The base seed from which all per-trial seeds are derived.
     pub fn base_seed(self) -> u64 {
         match self {
@@ -125,5 +149,17 @@ mod tests {
         assert!(Scale::Full.trials() > Scale::Quick.trials());
         assert!(Scale::Full.fixed_n() > Scale::Quick.fixed_n());
         assert!(Scale::Full.n_values().last() > Scale::Quick.n_values().last());
+        assert!(Scale::Full.batched_n_values().last() > Scale::Quick.batched_n_values().last());
+    }
+
+    #[test]
+    fn per_step_cap_keeps_some_overlap_for_comparison() {
+        for scale in [Scale::Tiny, Scale::Quick, Scale::Full] {
+            let cap = scale.per_step_n_cap();
+            assert!(
+                scale.batched_n_values().iter().any(|&n| n <= cap),
+                "at least one n must run under both engines"
+            );
+        }
     }
 }

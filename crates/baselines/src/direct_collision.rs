@@ -8,7 +8,9 @@
 //! exactly the bottleneck the paper's message-based `DetectCollision_r`
 //! removes; experiment E6 exhibits the resulting gap.
 
-use ppsim::{AgentId, CleanInit, InteractionCtx, LeaderOutput, Protocol, RankingOutput};
+use ppsim::{
+    AgentId, CleanInit, EnumerableProtocol, InteractionCtx, LeaderOutput, Protocol, RankingOutput,
+};
 
 /// The direct-collision ranking protocol for a population of size `n`.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +50,35 @@ impl CleanInit for DirectCollisionSsle {
     /// Worst-case start: every agent claims rank 1.
     fn clean_state(&self, _agent: AgentId) -> u32 {
         1
+    }
+}
+
+/// State index `r - 1` for rank `r`: the state space is exactly the rank
+/// space `[n]`, and the only non-silent ordered pairs are the diagonal ones
+/// (two agents claiming the same rank) — which is why batching pays off:
+/// once ranks are nearly distinct, almost every interaction is a skippable
+/// no-op.
+impl EnumerableProtocol for DirectCollisionSsle {
+    fn num_states(&self) -> usize {
+        self.n
+    }
+    fn encode(&self, state: &u32) -> usize {
+        let rank = *state as usize;
+        assert!(
+            (1..=self.n).contains(&rank),
+            "rank {rank} outside 1..={}",
+            self.n
+        );
+        rank - 1
+    }
+    fn decode(&self, index: usize) -> u32 {
+        (index + 1) as u32
+    }
+    fn is_silent(&self, initiator: usize, responder: usize) -> bool {
+        // Distinct ranks never change; equal ranks resample the responder
+        // (randomized, so the pair is non-silent even though the resample
+        // may occasionally restore the same rank).
+        initiator != responder
     }
 }
 
@@ -110,6 +141,31 @@ mod tests {
         let mut sim = Simulation::new(p, config, 8);
         let out = sim.run_until(|c| is_permutation(c.as_slice(), n), 50_000_000);
         assert!(out.satisfied);
+    }
+
+    #[test]
+    fn batched_engine_stabilizes_to_a_permutation() {
+        let n = 16;
+        let p = DirectCollisionSsle::new(n);
+        let mut sim = ppsim::BatchSimulation::clean(p, 5);
+        // A permutation in count space: every rank held by exactly one agent.
+        let out = sim.run_until(|c| c.counts().iter().all(|&c| c == 1), 50_000_000);
+        assert!(out.satisfied);
+        let p = DirectCollisionSsle::new(n);
+        assert!(p.is_correct_ranking(sim.to_configuration().as_slice()));
+        // From the all-rank-1 start, reaching a permutation needs at least
+        // n - 1 resamples but far fewer interactions than the per-step count.
+        assert!(sim.active_interactions() >= (n as u64) - 1);
+        assert!(sim.active_interactions() < out.interactions);
+    }
+
+    #[test]
+    fn enumeration_round_trips_ranks() {
+        let p = DirectCollisionSsle::new(8);
+        for index in 0..p.num_states() {
+            assert_eq!(p.encode(&p.decode(index)), index);
+        }
+        assert!(p.is_silent(0, 3) && !p.is_silent(3, 3));
     }
 
     #[test]

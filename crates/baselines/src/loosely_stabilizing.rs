@@ -12,7 +12,7 @@
 //! the single-leader configuration is only held for a finite (exponentially
 //! long in the counter range, but bounded) time.
 
-use ppsim::{AgentId, CleanInit, InteractionCtx, LeaderOutput, Protocol};
+use ppsim::{AgentId, CleanInit, EnumerableProtocol, InteractionCtx, LeaderOutput, Protocol};
 use serde::{Deserialize, Serialize};
 
 /// Per-agent state of the loosely-stabilizing protocol.
@@ -59,16 +59,10 @@ impl LooselyStabilizingLe {
     pub fn timer_max(&self) -> u32 {
         self.timer_max
     }
-}
 
-impl Protocol for LooselyStabilizingLe {
-    type State = LooseState;
-
-    fn population_size(&self) -> usize {
-        self.n
-    }
-
-    fn interact(&self, u: &mut LooseState, v: &mut LooseState, _ctx: &mut InteractionCtx<'_>) {
+    /// The deterministic transition, shared by [`Protocol::interact`] and
+    /// the silence check of [`EnumerableProtocol`].
+    fn step(&self, u: &mut LooseState, v: &mut LooseState) {
         // Two leaders: the responder abdicates.
         if u.leader && v.leader {
             v.leader = false;
@@ -88,6 +82,55 @@ impl Protocol for LooselyStabilizingLe {
                 }
             }
         }
+    }
+}
+
+impl Protocol for LooselyStabilizingLe {
+    type State = LooseState;
+
+    fn population_size(&self) -> usize {
+        self.n
+    }
+
+    fn interact(&self, u: &mut LooseState, v: &mut LooseState, _ctx: &mut InteractionCtx<'_>) {
+        self.step(u, v);
+    }
+}
+
+/// States enumerate as `leader · (timer_max + 1) + timer`, giving
+/// `|Q| = 2 · (timer_max + 1)`. The transition is deterministic, so silence
+/// is decided exactly by running it on the decoded pair.
+///
+/// Note: the default `timer_max` of [`LooselyStabilizingLe::new`] is
+/// `Θ(n log n)`, which makes `|Q|²` construction of a batched engine costly
+/// for large `n`; batched runs should use
+/// [`LooselyStabilizingLe::with_timer_max`] with a moderate bound.
+impl EnumerableProtocol for LooselyStabilizingLe {
+    fn num_states(&self) -> usize {
+        2 * (self.timer_max as usize + 1)
+    }
+    fn encode(&self, state: &LooseState) -> usize {
+        assert!(
+            state.timer <= self.timer_max,
+            "timer {} exceeds the bound {}",
+            state.timer,
+            self.timer_max
+        );
+        usize::from(state.leader) * (self.timer_max as usize + 1) + state.timer as usize
+    }
+    fn decode(&self, index: usize) -> LooseState {
+        let span = self.timer_max as usize + 1;
+        LooseState {
+            leader: index / span == 1,
+            timer: (index % span) as u32,
+        }
+    }
+    fn is_silent(&self, initiator: usize, responder: usize) -> bool {
+        let mut u = self.decode(initiator);
+        let mut v = self.decode(responder);
+        let before = (u, v);
+        self.step(&mut u, &mut v);
+        (u, v) == before
     }
 }
 
@@ -174,6 +217,51 @@ mod tests {
         p.interact(&mut a, &mut b, &mut ctx);
         assert!(a.leader && !b.leader);
         assert_eq!(a.timer, p.timer_max());
+    }
+
+    #[test]
+    fn enumeration_round_trips_states() {
+        let p = LooselyStabilizingLe::with_timer_max(8, 5);
+        assert_eq!(p.num_states(), 12);
+        for index in 0..p.num_states() {
+            assert_eq!(p.encode(&p.decode(index)), index);
+        }
+    }
+
+    #[test]
+    fn silence_matches_the_transition() {
+        let p = LooselyStabilizingLe::with_timer_max(4, 6);
+        // A leader at full timer meeting a follower one tick behind changes
+        // nothing; a follower pair at zero both promote.
+        let leader_full = p.encode(&LooseState {
+            leader: true,
+            timer: 6,
+        });
+        let follower_behind = p.encode(&LooseState {
+            leader: false,
+            timer: 5,
+        });
+        let follower_zero = p.encode(&LooseState {
+            leader: false,
+            timer: 0,
+        });
+        assert!(p.is_silent(leader_full, follower_behind));
+        assert!(!p.is_silent(follower_zero, follower_zero));
+    }
+
+    #[test]
+    fn batched_engine_recovers_a_unique_leader() {
+        let n = 64;
+        let p = LooselyStabilizingLe::with_timer_max(n, 200);
+        let mut sim = ppsim::BatchSimulation::clean(p, 2);
+        let out = sim.run_until(
+            |c| {
+                let p = LooselyStabilizingLe::with_timer_max(64, 200);
+                c.count_where(&p, |s| s.leader) == 1
+            },
+            5_000_000,
+        );
+        assert!(out.satisfied);
     }
 
     #[test]

@@ -1,0 +1,447 @@
+//! The batched, count-based simulation engine.
+//!
+//! The per-agent engine ([`crate::Simulation`]) pays for every interaction,
+//! including the overwhelming majority that change nothing — for a one-way
+//! epidemic, `Θ(n log n)` interactions of which only `n − 1` are
+//! state-changing. [`BatchSimulation`] instead works on a
+//! [`CountConfiguration`] and, in every round,
+//!
+//! 1. computes the probability `p` that a uniformly random ordered pair is
+//!    *non-silent* (changes state with positive probability),
+//! 2. samples the length of the run of silent interactions before the next
+//!    non-silent one as `Geo(p)` — one RNG draw, regardless of length,
+//! 3. charges the whole run to the interaction counter and executes the one
+//!    non-silent interaction, chosen among the non-silent state pairs with
+//!    the exact conditional probability.
+//!
+//! The resulting interaction sequence has exactly the distribution of the
+//! uniform-scheduler model — trajectories differ from [`crate::Simulation`]
+//! under the same seed (the engines consume randomness differently), but all
+//! distributions over configurations and hitting times agree. Cost drops
+//! from `O(#interactions)` to `O(#state-changing interactions)`, which is
+//! what makes `n ≥ 10⁶` stabilization-time sweeps tractable.
+//!
+//! Construction enumerates all `|Q|²` ordered state pairs once to find the
+//! non-silent ones, and every round scans that non-silent set; the engine is
+//! therefore intended for protocols with small-to-moderate state spaces
+//! (`|Q|` up to a few thousand), which covers the paper's epidemics and the
+//! baseline protocols.
+
+use crate::configuration::Configuration;
+use crate::convergence::{StabilizationDetector, StabilizationResult};
+use crate::count_config::CountConfiguration;
+use crate::enumerable::EnumerableProtocol;
+use crate::protocol::{CleanInit, InteractionCtx};
+use crate::rng::{uniform_below, SimRng};
+use crate::simulation::{RunOutcome, StabilizationOptions};
+use rand::distributions::{Distribution, Geometric};
+
+/// What one call to [`BatchSimulation::advance_batch`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BatchOutcome {
+    /// Interactions charged to the counter (silent run plus, if `changed`,
+    /// the one non-silent interaction ending it).
+    executed: u64,
+    /// Whether a non-silent interaction was executed.
+    changed: bool,
+    /// Whether the configuration can never change again (no non-silent state
+    /// pair is occupied); the whole budget was consumed as silence.
+    stalled: bool,
+}
+
+/// A population-protocol execution on state counts, batching silent
+/// interactions.
+#[derive(Debug)]
+pub struct BatchSimulation<P: EnumerableProtocol> {
+    protocol: P,
+    counts: CountConfiguration,
+    rng: SimRng,
+    interactions: u64,
+    active_interactions: u64,
+    /// The ordered state pairs the protocol does not declare silent,
+    /// precomputed at construction.
+    active_pairs: Vec<(usize, usize)>,
+    /// Per-round scratch: sampling weight of each active pair.
+    weights: Vec<u64>,
+}
+
+impl<P: EnumerableProtocol> BatchSimulation<P> {
+    /// Creates a batched simulation from an explicit count configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's state count does not match
+    /// [`EnumerableProtocol::num_states`], if its population does not match
+    /// [`crate::Protocol::population_size`], or if the population has fewer
+    /// than two agents.
+    pub fn new(protocol: P, counts: CountConfiguration, seed: u64) -> Self {
+        let q = protocol.num_states();
+        assert_eq!(
+            counts.num_states(),
+            q,
+            "count configuration must track the protocol's state space"
+        );
+        assert_eq!(
+            counts.population() as usize,
+            protocol.population_size(),
+            "configuration size must match the protocol's population size"
+        );
+        assert!(
+            counts.population() >= 2,
+            "the uniform scheduler requires at least two agents"
+        );
+        // The pair-weight arithmetic (c_u · c_v, n · (n-1)) is done in u64;
+        // bounding n at 2³² keeps every product representable.
+        assert!(
+            counts.population() <= u64::from(u32::MAX),
+            "the batched engine supports populations up to 2^32 - 1"
+        );
+        let mut active_pairs = Vec::new();
+        for u in 0..q {
+            for v in 0..q {
+                if !protocol.is_silent(u, v) {
+                    active_pairs.push((u, v));
+                }
+            }
+        }
+        let pairs = active_pairs.len();
+        BatchSimulation {
+            protocol,
+            counts,
+            rng: SimRng::seed_from_u64(seed),
+            interactions: 0,
+            active_interactions: 0,
+            active_pairs,
+            weights: vec![0; pairs],
+        }
+    }
+
+    /// Creates a batched simulation from a per-agent configuration.
+    pub fn from_configuration(protocol: P, config: &Configuration<P::State>, seed: u64) -> Self {
+        let counts = CountConfiguration::from_configuration(&protocol, config);
+        Self::new(protocol, counts, seed)
+    }
+
+    /// Creates a batched simulation from the protocol's clean initial
+    /// configuration.
+    pub fn clean(protocol: P, seed: u64) -> Self
+    where
+        P: CleanInit,
+    {
+        let config = Configuration::clean(&protocol);
+        Self::from_configuration(protocol, &config, seed)
+    }
+
+    /// The protocol being simulated.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The current configuration, as state counts.
+    pub fn counts(&self) -> &CountConfiguration {
+        &self.counts
+    }
+
+    /// Materializes the current configuration per agent (ordered by state
+    /// index; agents are anonymous).
+    pub fn to_configuration(&self) -> Configuration<P::State> {
+        self.counts.to_configuration(&self.protocol)
+    }
+
+    /// Number of interactions executed (batched silent runs included).
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Number of non-silent interactions actually executed — the quantity
+    /// the engine's running time is proportional to.
+    pub fn active_interactions(&self) -> u64 {
+        self.active_interactions
+    }
+
+    /// Parallel time elapsed so far (interactions divided by `n`).
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.counts.population() as f64
+    }
+
+    /// Advances by one batch: a sampled run of silent interactions followed
+    /// by one non-silent interaction, truncated to `budget` interactions in
+    /// total.
+    fn advance_batch(&mut self, budget: u64) -> BatchOutcome {
+        debug_assert!(budget > 0);
+        let n = self.counts.population();
+        let total_pairs = n * (n - 1);
+        // Weight of ordered state pair (u, v): the number of ordered agent
+        // pairs realizing it. Disjoint over pairs, so the sum is at most
+        // n(n-1), which fits u64 thanks to the n <= 2^32 - 1 bound checked
+        // at construction.
+        let mut total_weight = 0u64;
+        let mut occupied_pairs = 0usize;
+        let mut last_occupied = 0usize;
+        for (k, (slot, &(u, v))) in self.weights.iter_mut().zip(&self.active_pairs).enumerate() {
+            let cu = self.counts.count(u);
+            let cv = self.counts.count(v);
+            *slot = if u == v {
+                cu * cu.saturating_sub(1)
+            } else {
+                cu * cv
+            };
+            if *slot > 0 {
+                occupied_pairs += 1;
+                last_occupied = k;
+            }
+            total_weight += *slot;
+        }
+        if total_weight == 0 {
+            // Every occupied pair is silent: the configuration is frozen
+            // forever, so the rest of the budget is all no-ops.
+            self.interactions += budget;
+            return BatchOutcome {
+                executed: budget,
+                changed: false,
+                stalled: true,
+            };
+        }
+        let p_active = total_weight as f64 / total_pairs as f64;
+        let silent = if p_active >= 1.0 {
+            0
+        } else {
+            Geometric::new(p_active)
+                .expect("probability is in (0, 1)")
+                .sample(&mut self.rng)
+        };
+        if silent >= budget {
+            self.interactions += budget;
+            return BatchOutcome {
+                executed: budget,
+                changed: false,
+                stalled: false,
+            };
+        }
+        // The non-silent interaction: pick the state pair with probability
+        // proportional to its weight, then apply the transition. With a
+        // single occupied pair (e.g. the one-way epidemic) the pick is
+        // forced, saving the RNG draw.
+        let pick = if occupied_pairs == 1 {
+            last_occupied
+        } else {
+            let threshold = uniform_below(&mut self.rng, total_weight);
+            let mut acc = 0u64;
+            let mut pick = self.active_pairs.len() - 1;
+            for (k, &w) in self.weights.iter().enumerate() {
+                acc += w;
+                if threshold < acc {
+                    pick = k;
+                    break;
+                }
+            }
+            pick
+        };
+        let (u, v) = self.active_pairs[pick];
+        let interaction = self.interactions + silent;
+        let mut ctx = InteractionCtx::new(&mut self.rng, interaction);
+        let to = self.protocol.transition_indices(u, v, &mut ctx);
+        self.counts.apply_transition((u, v), to);
+        self.interactions += silent + 1;
+        self.active_interactions += 1;
+        BatchOutcome {
+            executed: silent + 1,
+            changed: true,
+            stalled: false,
+        }
+    }
+
+    /// Executes exactly `budget` interactions (batching silent runs) and
+    /// returns the number of non-silent ones among them.
+    pub fn run(&mut self, budget: u64) -> u64 {
+        let before = self.active_interactions;
+        let mut done = 0;
+        while done < budget {
+            done += self.advance_batch(budget - done).executed;
+        }
+        self.active_interactions - before
+    }
+
+    /// Runs until `pred` holds for the current count configuration or
+    /// `budget` interactions have been executed by this call.
+    ///
+    /// Because silent interactions cannot change the configuration, the
+    /// predicate is evaluated only after state changes; the reported
+    /// interaction count is nevertheless exact — it is the index of the
+    /// state-changing interaction that made the predicate true, just as the
+    /// per-agent engine would report.
+    pub fn run_until<F>(&mut self, mut pred: F, budget: u64) -> RunOutcome
+    where
+        F: FnMut(&CountConfiguration) -> bool,
+    {
+        let mut done = 0;
+        loop {
+            if pred(&self.counts) {
+                return RunOutcome {
+                    interactions: done,
+                    satisfied: true,
+                };
+            }
+            if done >= budget {
+                return RunOutcome {
+                    interactions: done,
+                    satisfied: false,
+                };
+            }
+            let batch = self.advance_batch(budget - done);
+            done += batch.executed;
+            if batch.stalled {
+                // The predicate is false and no transition can ever fire
+                // again; the budget has been consumed as silence.
+                return RunOutcome {
+                    interactions: done,
+                    satisfied: false,
+                };
+            }
+        }
+    }
+
+    /// Measures the stabilization time of the output predicate `pred`, with
+    /// the same semantics as [`crate::Simulation::measure_stabilization`]:
+    /// interaction indices are absolute (counted from the construction of
+    /// the simulation) and the run stops early once the predicate has held
+    /// for `opts.confirm_window` consecutive interactions.
+    ///
+    /// `opts.check_every` is ignored: silent interactions cannot change the
+    /// predicate, so checking after every state change is both exact and
+    /// free, a strict improvement over sampled checking.
+    pub fn measure_stabilization<F>(
+        &mut self,
+        mut pred: F,
+        opts: StabilizationOptions,
+    ) -> StabilizationResult
+    where
+        F: FnMut(&CountConfiguration) -> bool,
+    {
+        let n = self.counts.population() as usize;
+        let start = self.interactions;
+        let mut detector = StabilizationDetector::new();
+        detector.observe(start, pred(&self.counts));
+        let mut executed = 0u64;
+        while executed < opts.budget {
+            let now = start + executed;
+            let mut cap = opts.budget - executed;
+            if detector.satisfied_now() {
+                let held = detector.consecutive(now);
+                if held >= opts.confirm_window {
+                    break;
+                }
+                // No need to simulate past the end of the confirmation
+                // window: if the run stays silent that long, we are done.
+                cap = cap.min(opts.confirm_window - held);
+            }
+            let batch = self.advance_batch(cap);
+            executed += batch.executed;
+            detector.observe(start + executed, pred(&self.counts));
+            if batch.stalled {
+                // The current predicate value holds forever.
+                break;
+            }
+        }
+        StabilizationResult {
+            interactions: executed,
+            stabilized_at: detector.stabilized_at(),
+            n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epidemic::{OneWayEpidemic, TwoWayEpidemic};
+
+    #[test]
+    fn batched_epidemic_reaches_everyone() {
+        let p = OneWayEpidemic::new(256, 1);
+        let mut sim = BatchSimulation::clean(p, 7);
+        let out = sim.run_until(|c| c.count(1) == c.population(), 10_000_000);
+        assert!(out.satisfied);
+        assert_eq!(sim.counts().count(1), 256);
+        assert_eq!(sim.counts().count(0), 0);
+        // Exactly n - 1 interactions can inform a new agent.
+        assert_eq!(sim.active_interactions(), 255);
+        // But the epidemic needs far more interactions in total.
+        assert!(out.interactions > 255, "got {}", out.interactions);
+        assert_eq!(sim.interactions(), out.interactions);
+    }
+
+    #[test]
+    fn stalled_configuration_consumes_budget_silently() {
+        // Everyone already informed: every pair is silent.
+        let p = TwoWayEpidemic::new(64, 64);
+        let mut sim = BatchSimulation::clean(p, 3);
+        let active = sim.run(1_000_000);
+        assert_eq!(active, 0);
+        assert_eq!(sim.interactions(), 1_000_000);
+        assert_eq!(sim.counts().count(1), 64);
+    }
+
+    #[test]
+    fn run_until_budget_exhaustion_reports_unsatisfied() {
+        let p = OneWayEpidemic::new(64, 1);
+        let mut sim = BatchSimulation::clean(p, 5);
+        let out = sim.run_until(|c| c.count(1) == c.population(), 10);
+        assert!(!out.satisfied);
+        assert_eq!(out.interactions, 10);
+    }
+
+    #[test]
+    fn fixed_seed_is_deterministic() {
+        let run = |seed: u64| {
+            let p = OneWayEpidemic::new(128, 1);
+            let mut sim = BatchSimulation::clean(p, seed);
+            let out = sim.run_until(|c| c.count(1) == c.population(), 10_000_000);
+            (out.interactions, sim.counts().clone())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, run(12).0);
+    }
+
+    #[test]
+    fn measure_stabilization_finds_epidemic_completion() {
+        let p = TwoWayEpidemic::new(128, 1);
+        let mut sim = BatchSimulation::clean(p, 3);
+        let opts = StabilizationOptions::new(128, 10_000_000).confirm_window(5_000);
+        let res = sim.measure_stabilization(|c| c.count(1) == c.population(), opts);
+        assert!(res.stabilized());
+        let t = res.stabilized_at.unwrap();
+        assert!(t > 0 && t < 10_000_000);
+        // The confirmation window was waited out, not the whole budget.
+        assert!(res.interactions <= t + 5_000);
+    }
+
+    #[test]
+    fn measure_stabilization_short_circuits_on_stall() {
+        // All informed from the start: predicate holds and nothing can ever
+        // change, so the measurement may stop well before the budget.
+        let p = TwoWayEpidemic::new(32, 32);
+        let mut sim = BatchSimulation::clean(p, 1);
+        let opts = StabilizationOptions::new(32, u64::MAX / 2).confirm_window(1_000);
+        let res = sim.measure_stabilization(|c| c.count(1) == c.population(), opts);
+        assert!(res.stabilized());
+        assert_eq!(res.stabilized_at, Some(0));
+        assert!(res.interactions <= 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_population_panics() {
+        let p = OneWayEpidemic::new(8, 1);
+        let counts = CountConfiguration::from_counts(vec![3, 1]);
+        let _ = BatchSimulation::new(p, counts, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "state space")]
+    fn mismatched_state_space_panics() {
+        let p = OneWayEpidemic::new(8, 1);
+        let counts = CountConfiguration::from_counts(vec![4, 3, 1]);
+        let _ = BatchSimulation::new(p, counts, 0);
+    }
+}

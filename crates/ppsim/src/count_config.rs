@@ -1,0 +1,318 @@
+//! Count-based population configurations.
+//!
+//! A population of anonymous agents is fully described by *how many* agents
+//! occupy each state — the multiset view `c : Q → ℕ` with `Σ c(q) = n` — and
+//! for protocols with an enumerable state space this is the representation
+//! the batched engine ([`crate::BatchSimulation`]) runs on: updating a
+//! transition touches four counters instead of two `Vec` slots, and the
+//! memory footprint is `O(|Q|)` instead of `O(n)`, so populations of 10⁶–10⁸
+//! agents cost the same as tiny ones.
+//!
+//! [`CountConfiguration`] converts losslessly (up to agent order, which the
+//! model deems meaningless) to and from the per-agent [`Configuration`].
+
+use crate::configuration::Configuration;
+use crate::enumerable::EnumerableProtocol;
+use rand::distributions::{Binomial, Distribution};
+use rand::RngCore;
+use serde::Serialize;
+use std::fmt;
+
+/// A configuration stored as per-state agent counts.
+#[derive(Clone, PartialEq, Eq, Serialize)]
+pub struct CountConfiguration {
+    counts: Vec<u64>,
+    population: u64,
+}
+
+impl CountConfiguration {
+    /// Creates a count configuration from explicit per-state counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or all zero: the population model requires
+    /// `n ≥ 1`.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        let population = counts.iter().sum();
+        assert!(population > 0, "a population must have at least one agent");
+        CountConfiguration { counts, population }
+    }
+
+    /// Builds the count view of a per-agent configuration under the
+    /// protocol's state enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state encodes outside `0..num_states()`.
+    pub fn from_configuration<P: EnumerableProtocol>(
+        protocol: &P,
+        config: &Configuration<P::State>,
+    ) -> Self {
+        let mut counts = vec![0u64; protocol.num_states()];
+        for state in config.iter() {
+            let index = protocol.encode(state);
+            assert!(
+                index < counts.len(),
+                "state encodes to {index}, outside 0..{}",
+                counts.len()
+            );
+            counts[index] += 1;
+        }
+        CountConfiguration {
+            counts,
+            population: config.len() as u64,
+        }
+    }
+
+    /// Materializes a per-agent configuration, with agents ordered by
+    /// ascending state index.
+    ///
+    /// Agents are anonymous, so any ordering represents the same
+    /// configuration; the ascending order makes the conversion deterministic.
+    pub fn to_configuration<P: EnumerableProtocol>(&self, protocol: &P) -> Configuration<P::State> {
+        let mut states = Vec::with_capacity(self.population as usize);
+        for (index, &count) in self.counts.iter().enumerate() {
+            for _ in 0..count {
+                states.push(protocol.decode(index));
+            }
+        }
+        Configuration::from_states(states)
+    }
+
+    /// Samples a configuration of `population` agents with every agent's
+    /// state independently uniform over `0..num_states` (a multinomial
+    /// sample, drawn state-by-state as sequential binomials).
+    ///
+    /// This is the count-space analogue of an adversarially random per-agent
+    /// initialization. With the vendored geometric-jump [`Binomial`] the
+    /// expected cost is `O(population + num_states)` — linear rather than
+    /// population-independent, but allocation-free and done once per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population` or `num_states` is zero.
+    pub fn multinomial_uniform(num_states: usize, population: u64, rng: &mut dyn RngCore) -> Self {
+        assert!(population > 0, "a population must have at least one agent");
+        assert!(num_states > 0, "need at least one state");
+        let mut counts = vec![0u64; num_states];
+        let mut remaining = population;
+        for (index, slot) in counts.iter_mut().enumerate() {
+            let states_left = (num_states - index) as f64;
+            if index + 1 == num_states {
+                *slot = remaining;
+            } else {
+                let draw = Binomial::new(remaining, 1.0 / states_left)
+                    .expect("probability is in (0, 1]")
+                    .sample(rng);
+                *slot = draw;
+                remaining -= draw;
+            }
+        }
+        CountConfiguration { counts, population }
+    }
+
+    /// The population size `n`.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// The number of states the configuration tracks (`|Q|`).
+    pub fn num_states(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The number of agents currently in state `index`.
+    pub fn count(&self, index: usize) -> u64 {
+        self.counts[index]
+    }
+
+    /// The per-state counts as a slice, indexed by state index.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Iterates over the occupied states as `(state index, count)` pairs,
+    /// skipping empty states.
+    pub fn occupied(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Counts the agents whose *decoded* state satisfies the predicate.
+    ///
+    /// The predicate is evaluated once per occupied state, not per agent.
+    pub fn count_where<P, F>(&self, protocol: &P, mut pred: F) -> u64
+    where
+        P: EnumerableProtocol,
+        F: FnMut(&P::State) -> bool,
+    {
+        self.occupied()
+            .filter(|&(index, _)| pred(&protocol.decode(index)))
+            .map(|(_, count)| count)
+            .sum()
+    }
+
+    /// Whether every agent's decoded state satisfies the predicate.
+    pub fn all<P, F>(&self, protocol: &P, mut pred: F) -> bool
+    where
+        P: EnumerableProtocol,
+        F: FnMut(&P::State) -> bool,
+    {
+        self.occupied()
+            .all(|(index, _)| pred(&protocol.decode(index)))
+    }
+
+    /// Whether some agent's decoded state satisfies the predicate.
+    pub fn any<P, F>(&self, protocol: &P, mut pred: F) -> bool
+    where
+        P: EnumerableProtocol,
+        F: FnMut(&P::State) -> bool,
+    {
+        self.occupied()
+            .any(|(index, _)| pred(&protocol.decode(index)))
+    }
+
+    /// Applies one ordered-pair transition in count space: the interacting
+    /// agents leave states `from` and enter states `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `from` states are not actually occupied by two distinct
+    /// agents (for `from.0 == from.1` that means a count of at least two).
+    pub fn apply_transition(&mut self, from: (usize, usize), to: (usize, usize)) {
+        if from.0 == from.1 {
+            assert!(
+                self.counts[from.0] >= 2,
+                "transition needs two agents in state {}",
+                from.0
+            );
+        } else {
+            assert!(self.counts[from.0] >= 1, "state {} is empty", from.0);
+            assert!(self.counts[from.1] >= 1, "state {} is empty", from.1);
+        }
+        self.counts[from.0] -= 1;
+        self.counts[from.1] -= 1;
+        self.counts[to.0] += 1;
+        self.counts[to.1] += 1;
+    }
+}
+
+impl fmt::Debug for CountConfiguration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CountConfiguration")
+            .field("n", &self.population)
+            .field("counts", &self.counts)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{AgentId, CleanInit, InteractionCtx, Protocol};
+    use crate::SimRng;
+
+    /// `k`-state protocol whose state is its own index.
+    struct ModK {
+        n: usize,
+        k: usize,
+    }
+
+    impl Protocol for ModK {
+        type State = usize;
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn interact(&self, _u: &mut usize, _v: &mut usize, _ctx: &mut InteractionCtx<'_>) {}
+    }
+
+    impl CleanInit for ModK {
+        fn clean_state(&self, agent: AgentId) -> usize {
+            agent.index() % self.k
+        }
+    }
+
+    impl EnumerableProtocol for ModK {
+        fn num_states(&self) -> usize {
+            self.k
+        }
+        fn encode(&self, state: &usize) -> usize {
+            *state
+        }
+        fn decode(&self, index: usize) -> usize {
+            index
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_the_multiset() {
+        let p = ModK { n: 10, k: 3 };
+        let config = Configuration::clean(&p);
+        let counts = CountConfiguration::from_configuration(&p, &config);
+        assert_eq!(counts.counts(), &[4, 3, 3]);
+        assert_eq!(counts.population(), 10);
+        let back = counts.to_configuration(&p);
+        let again = CountConfiguration::from_configuration(&p, &back);
+        assert_eq!(counts, again);
+    }
+
+    #[test]
+    fn predicates_weight_by_count() {
+        let counts = CountConfiguration::from_counts(vec![4, 0, 6]);
+        let p = ModK { n: 10, k: 3 };
+        assert_eq!(counts.count_where(&p, |s| *s == 2), 6);
+        assert_eq!(counts.count_where(&p, |s| *s == 1), 0);
+        assert!(counts.all(&p, |s| *s != 1), "empty states are skipped");
+        assert!(counts.any(&p, |s| *s == 0));
+        assert!(!counts.any(&p, |s| *s == 1));
+    }
+
+    #[test]
+    fn apply_transition_moves_two_agents() {
+        let mut counts = CountConfiguration::from_counts(vec![5, 5, 0]);
+        counts.apply_transition((0, 1), (2, 2));
+        assert_eq!(counts.counts(), &[4, 4, 2]);
+        assert_eq!(counts.population(), 10);
+        counts.apply_transition((2, 2), (0, 1));
+        assert_eq!(counts.counts(), &[5, 5, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs two agents")]
+    fn self_pair_requires_two_occupants() {
+        let mut counts = CountConfiguration::from_counts(vec![1, 9]);
+        counts.apply_transition((0, 0), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn empty_population_rejected() {
+        let _ = CountConfiguration::from_counts(vec![0, 0]);
+    }
+
+    #[test]
+    fn multinomial_conserves_population() {
+        let mut rng = SimRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let counts = CountConfiguration::multinomial_uniform(5, 1000, &mut rng);
+            assert_eq!(counts.population(), 1000);
+            assert_eq!(counts.counts().iter().sum::<u64>(), 1000);
+            assert_eq!(counts.num_states(), 5);
+        }
+    }
+
+    #[test]
+    fn multinomial_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let counts = CountConfiguration::multinomial_uniform(4, 40_000, &mut rng);
+        for (index, &c) in counts.counts().iter().enumerate() {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 1_000.0,
+                "state {index} count {c} far from uniform"
+            );
+        }
+    }
+}

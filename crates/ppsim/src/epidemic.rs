@@ -7,9 +7,19 @@
 //! constant can be measured (experiment E8), and exposes
 //! [`measure_epidemic_time`] as a reusable helper.
 
+use crate::batched::BatchSimulation;
 use crate::configuration::Configuration;
+use crate::enumerable::EnumerableProtocol;
 use crate::protocol::{AgentId, CleanInit, InteractionCtx, Protocol};
 use crate::simulation::Simulation;
+
+/// State index of an uninformed agent under the epidemics'
+/// [`EnumerableProtocol`] enumeration.
+pub const UNINFORMED: usize = 0;
+
+/// State index of an informed agent under the epidemics'
+/// [`EnumerableProtocol`] enumeration.
+pub const INFORMED: usize = 1;
 
 /// One-way epidemic: when an *informed* initiator meets an uninformed
 /// responder, the responder becomes informed. (Information flows only from
@@ -51,6 +61,23 @@ impl Protocol for OneWayEpidemic {
 impl CleanInit for OneWayEpidemic {
     fn clean_state(&self, agent: AgentId) -> bool {
         agent.index() < self.sources
+    }
+}
+
+impl EnumerableProtocol for OneWayEpidemic {
+    fn num_states(&self) -> usize {
+        2
+    }
+    fn encode(&self, state: &bool) -> usize {
+        usize::from(*state)
+    }
+    fn decode(&self, index: usize) -> bool {
+        index == INFORMED
+    }
+    fn is_silent(&self, initiator: usize, responder: usize) -> bool {
+        // Only an informed initiator meeting an uninformed responder changes
+        // anything.
+        !(initiator == INFORMED && responder == UNINFORMED)
     }
 }
 
@@ -96,6 +123,22 @@ impl CleanInit for TwoWayEpidemic {
     }
 }
 
+impl EnumerableProtocol for TwoWayEpidemic {
+    fn num_states(&self) -> usize {
+        2
+    }
+    fn encode(&self, state: &bool) -> usize {
+        usize::from(*state)
+    }
+    fn decode(&self, index: usize) -> bool {
+        index == INFORMED
+    }
+    fn is_silent(&self, initiator: usize, responder: usize) -> bool {
+        // Mixed pairs (in either order) inform the uninformed side.
+        initiator == responder
+    }
+}
+
 /// Runs one epidemic to completion and returns the number of interactions it
 /// took for every agent to become informed.
 ///
@@ -109,6 +152,52 @@ where
     let config = Configuration::clean(&protocol);
     let mut sim = Simulation::new(protocol, config, seed);
     let out = sim.run_until(|c| c.all(|s| *s), budget);
+    out.satisfied.then_some(out.interactions)
+}
+
+/// Like [`measure_epidemic_time`], but checking completion only every
+/// `check_every` interactions: the returned time is rounded up to the next
+/// check, so it overshoots the true completion by less than `check_every`.
+///
+/// Use this for large populations under the per-step engine, where the
+/// `O(n)` completion predicate evaluated after every interaction would
+/// dominate the simulation itself (`Θ(n²)` total just for checking).
+pub fn measure_epidemic_time_coarse<P>(
+    protocol: P,
+    seed: u64,
+    budget: u64,
+    check_every: u64,
+) -> Option<u64>
+where
+    P: Protocol<State = bool> + CleanInit,
+{
+    let check_every = check_every.max(1);
+    let config = Configuration::clean(&protocol);
+    let mut sim = Simulation::new(protocol, config, seed);
+    while sim.interactions() < budget {
+        let chunk = check_every.min(budget - sim.interactions());
+        if sim.run(chunk) < chunk {
+            return None;
+        }
+        if sim.configuration().all(|s| *s) {
+            return Some(sim.interactions());
+        }
+    }
+    None
+}
+
+/// Like [`measure_epidemic_time`], but under the batched count-based engine
+/// ([`BatchSimulation`]) — the variant to use for large populations
+/// (`n ≥ 10⁵`), where it is orders of magnitude faster.
+///
+/// The two engines draw randomness differently, so for equal seeds the
+/// returned times are different samples of the same distribution.
+pub fn measure_epidemic_time_batched<P>(protocol: P, seed: u64, budget: u64) -> Option<u64>
+where
+    P: EnumerableProtocol<State = bool> + CleanInit,
+{
+    let mut sim = BatchSimulation::clean(protocol, seed);
+    let out = sim.run_until(|c| c.count(INFORMED) == c.population(), budget);
     out.satisfied.then_some(out.interactions)
 }
 
@@ -172,6 +261,55 @@ mod tests {
                 / trials as f64
         };
         assert!(avg(n / 2) < avg(1));
+    }
+
+    #[test]
+    fn coarse_measurement_overshoots_by_less_than_the_check_interval() {
+        let n = 64;
+        for seed in 0..5 {
+            let exact = measure_epidemic_time(OneWayEpidemic::new(n, 1), seed, u64::MAX).unwrap();
+            let coarse =
+                measure_epidemic_time_coarse(OneWayEpidemic::new(n, 1), seed, u64::MAX, 100)
+                    .unwrap();
+            assert!(coarse >= exact, "coarse {coarse} below exact {exact}");
+            assert!(coarse < exact + 100);
+            assert_eq!(coarse % 100, 0, "completion reported at a check");
+        }
+    }
+
+    #[test]
+    fn batched_time_matches_per_step_in_expectation() {
+        let n = 96;
+        let trials = 12;
+        let mean = |batched: bool| -> f64 {
+            (0..trials)
+                .map(|i| {
+                    if batched {
+                        measure_epidemic_time_batched(OneWayEpidemic::new(n, 1), 30 + i, u64::MAX)
+                            .unwrap() as f64
+                    } else {
+                        measure_epidemic_time(OneWayEpidemic::new(n, 1), 30 + i, u64::MAX).unwrap()
+                            as f64
+                    }
+                })
+                .sum::<f64>()
+                / trials as f64
+        };
+        let (per_step, batched) = (mean(false), mean(true));
+        // Same distribution, different samples: means agree within generous
+        // Monte-Carlo slack (σ/mean is ~15% at 12 trials of this size).
+        assert!(
+            (per_step - batched).abs() < 0.5 * per_step,
+            "per-step mean {per_step} vs batched mean {batched}"
+        );
+    }
+
+    #[test]
+    fn batched_insufficient_budget_returns_none() {
+        assert_eq!(
+            measure_epidemic_time_batched(TwoWayEpidemic::new(64, 1), 0, 5),
+            None
+        );
     }
 
     #[test]

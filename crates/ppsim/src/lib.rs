@@ -15,8 +15,12 @@
 //! * [`Configuration`] — a population state vector with predicate helpers,
 //! * [`scheduler`] — the uniformly random scheduler and a scripted scheduler
 //!   for reachability-style unit tests,
-//! * [`Simulation`] — the run loop, with stop conditions and stabilization
-//!   detection ([`convergence`]),
+//! * [`Simulation`] — the per-agent run loop, with stop conditions and
+//!   stabilization detection ([`convergence`]),
+//! * [`BatchSimulation`] — the batched count-based engine for protocols with
+//!   an enumerable state space ([`EnumerableProtocol`],
+//!   [`CountConfiguration`]): silent interaction runs are sampled
+//!   geometrically instead of executed, making `n ≥ 10⁶` populations cheap,
 //! * [`adversary`] — combinators for arbitrary (adversarial) initial
 //!   configurations, as required for *self-stabilization* experiments,
 //! * [`epidemic`] — one-way/two-way epidemic protocols and measurement helpers
@@ -64,9 +68,12 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod batched;
 pub mod coin;
 pub mod configuration;
 pub mod convergence;
+pub mod count_config;
+pub mod enumerable;
 pub mod epidemic;
 pub mod error;
 pub mod metrics;
@@ -77,9 +84,12 @@ pub mod simulation;
 pub mod stats;
 
 pub use adversary::AdversarialInit;
+pub use batched::BatchSimulation;
 pub use coin::SyntheticCoin;
 pub use configuration::Configuration;
 pub use convergence::{StabilizationDetector, StabilizationResult};
+pub use count_config::CountConfiguration;
+pub use enumerable::EnumerableProtocol;
 pub use error::SimError;
 pub use metrics::InteractionMetrics;
 pub use protocol::{AgentId, CleanInit, InteractionCtx, LeaderOutput, Protocol, RankingOutput};

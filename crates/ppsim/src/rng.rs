@@ -37,6 +37,23 @@ impl RngCore for SimRng {
     }
 }
 
+/// Samples a value uniformly at random from `[0, bound)` using unbiased
+/// rejection sampling.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn uniform_below(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    assert!(bound > 0, "uniform_below requires a positive bound");
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let x = rng.next_u64();
+        if x < zone {
+            return x % bound;
+        }
+    }
+}
+
 /// Derives an independent seed for a sub-experiment (e.g. trial `index` of the
 /// experiment seeded with `base`).
 ///
@@ -78,6 +95,23 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn uniform_below_stays_in_range() {
+        let mut rng = SimRng::seed_from_u64(7);
+        for bound in [1u64, 2, 3, 10, 1 << 40] {
+            for _ in 0..50 {
+                assert!(uniform_below(&mut rng, bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn uniform_below_zero_panics() {
+        let mut rng = SimRng::seed_from_u64(0);
+        let _ = uniform_below(&mut rng, 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! sequence of pairs.
 
 use crate::protocol::AgentId;
+use crate::rng::uniform_below;
 use rand::RngCore;
 
 /// An ordered pair of interacting agents: `(initiator, responder)`.
@@ -63,8 +64,8 @@ impl Scheduler for UniformScheduler {
         // Sample the initiator uniformly, then the responder uniformly among
         // the remaining n-1 agents. This yields every ordered pair with
         // probability 1/(n(n-1)).
-        let u = sample_below(rng, n as u64) as usize;
-        let mut v = sample_below(rng, (n - 1) as u64) as usize;
+        let u = uniform_below(rng, n as u64) as usize;
+        let mut v = uniform_below(rng, (n - 1) as u64) as usize;
         if v >= u {
             v += 1;
         }
@@ -102,17 +103,6 @@ impl ScriptedScheduler {
 impl Scheduler for ScriptedScheduler {
     fn next_pair(&mut self, _n: usize, _rng: &mut dyn RngCore) -> Option<OrderedPair> {
         self.script.next()
-    }
-}
-
-fn sample_below(rng: &mut dyn RngCore, bound: u64) -> u64 {
-    debug_assert!(bound > 0);
-    let zone = u64::MAX - (u64::MAX % bound);
-    loop {
-        let x = rng.next_u64();
-        if x < zone {
-            return x % bound;
-        }
     }
 }
 

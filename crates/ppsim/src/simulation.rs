@@ -215,9 +215,12 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
     /// Runs for at most `opts.budget` interactions, evaluating `pred` every
     /// `opts.check_every` interactions, and stops early once the predicate
     /// has held continuously for `opts.confirm_window` interactions. The
-    /// returned [`StabilizationResult::stabilized_at`] is the interaction
-    /// count at the first check from which the predicate held until the end
-    /// of the run.
+    /// returned [`StabilizationResult::stabilized_at`] is the *absolute*
+    /// interaction index (counted from the construction of the simulation,
+    /// so including any interactions executed before this call) of the first
+    /// check from which the predicate held until the end of the run;
+    /// [`StabilizationResult::interactions`] is the number executed by this
+    /// call alone.
     pub fn measure_stabilization<F>(
         &mut self,
         mut pred: F,
@@ -228,8 +231,11 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
     {
         let n = self.config.len();
         let mut detector = StabilizationDetector::new();
+        // Observations use absolute interaction indices so a measurement on
+        // a warm-started simulation reports stabilization relative to the
+        // simulation's full history, not this call.
         let start = self.interactions;
-        detector.observe(0, pred(&self.config));
+        detector.observe(start, pred(&self.config));
         let mut executed = 0u64;
         while executed < opts.budget {
             if self.step().is_none() {
@@ -237,15 +243,14 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
             }
             executed += 1;
             if executed % opts.check_every == 0 {
-                detector.observe(executed, pred(&self.config));
-                if detector.consecutive(executed) >= opts.confirm_window {
+                detector.observe(start + executed, pred(&self.config));
+                if detector.consecutive(start + executed) >= opts.confirm_window {
                     break;
                 }
             }
         }
         // Final check so the detector reflects the end-of-run configuration.
-        detector.observe(executed, pred(&self.config));
-        let _ = start;
+        detector.observe(start + executed, pred(&self.config));
         StabilizationResult {
             interactions: executed,
             stabilized_at: detector.stabilized_at(),
@@ -324,6 +329,28 @@ mod tests {
         let t = res.stabilized_at.unwrap();
         assert!(t > 0 && t < 200_000);
         assert!(res.parallel_time().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn measure_stabilization_reports_absolute_interaction_indices() {
+        let warm_up = 10u64;
+        // A fresh measurement and one taken after a warm-up run of the same
+        // seed: the warm-started one must report its stabilization index
+        // relative to the simulation's full history.
+        let p = Epidemic(64);
+        let c = Configuration::clean(&p);
+        let mut sim = Simulation::new(p, c, 9);
+        assert_eq!(sim.run(warm_up), warm_up);
+        let opts = StabilizationOptions::new(64, 500_000).confirm_window(2_000);
+        let res = sim.measure_stabilization(|c| c.all(|s| *s), opts);
+        assert!(res.stabilized());
+        let t = res.stabilized_at.unwrap();
+        // The epidemic cannot have finished within the warm-up (it needs at
+        // least n - 1 informing interactions), so the absolute index lies
+        // strictly past it — and within this call's executed range.
+        assert!(t > warm_up, "stabilized_at {t} must include the offset");
+        assert!(t <= warm_up + res.interactions);
+        assert_eq!(sim.interactions(), warm_up + res.interactions);
     }
 
     #[test]

@@ -2,11 +2,39 @@
 
 use ppsim::stats::{log_log_slope, Histogram};
 use ppsim::{
-    parallel_time, AgentId, Configuration, OrderedPair, Scheduler, SimRng, Summary, SyntheticCoin,
-    UniformScheduler,
+    parallel_time, AgentId, Configuration, CountConfiguration, EnumerableProtocol, InteractionCtx,
+    OrderedPair, Protocol, Scheduler, SimRng, Summary, SyntheticCoin, UniformScheduler,
 };
 use proptest::prelude::*;
+use rand::distributions::{Binomial, Distribution, Geometric};
 use rand::RngCore;
+
+/// A protocol whose state is its own index in `0..k` — just enough structure
+/// to exercise the count/per-agent conversions.
+struct IndexedStates {
+    n: usize,
+    k: usize,
+}
+
+impl Protocol for IndexedStates {
+    type State = usize;
+    fn population_size(&self) -> usize {
+        self.n
+    }
+    fn interact(&self, _u: &mut usize, _v: &mut usize, _ctx: &mut InteractionCtx<'_>) {}
+}
+
+impl EnumerableProtocol for IndexedStates {
+    fn num_states(&self) -> usize {
+        self.k
+    }
+    fn encode(&self, state: &usize) -> usize {
+        *state
+    }
+    fn decode(&self, index: usize) -> usize {
+        index
+    }
+}
 
 proptest! {
     /// The uniform scheduler only ever returns valid ordered pairs.
@@ -119,6 +147,97 @@ proptest! {
             };
             prop_assert_eq!(config[i], expected);
         }
+    }
+
+    /// Geometric samples have the right support and track the mean
+    /// `(1 - p)/p` over a modest sample.
+    #[test]
+    fn geometric_sampler_tracks_its_mean(p_mil in 50u64..950, seed in any::<u64>()) {
+        let p = p_mil as f64 / 1000.0;
+        let d = Geometric::new(p).unwrap();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let samples = 400;
+        let mean = (0..samples).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / samples as f64;
+        let expected = (1.0 - p) / p;
+        // σ of the sample mean is √(1-p)/(p·√samples); 6σ + slack margin.
+        let margin = 6.0 * (1.0 - p).sqrt() / (p * (samples as f64).sqrt()) + 0.05;
+        prop_assert!(
+            (mean - expected).abs() < margin,
+            "p {p}: mean {mean} vs expected {expected} (margin {margin})"
+        );
+    }
+
+    /// Binomial samples stay in `0..=n`, hit the endpoints for degenerate
+    /// `p`, and track the mean `n·p`.
+    #[test]
+    fn binomial_sampler_stays_in_range_and_tracks_mean(
+        n in 1u64..400,
+        p_mil in 0u64..=1000,
+        seed in any::<u64>(),
+    ) {
+        let p = p_mil as f64 / 1000.0;
+        let d = Binomial::new(n, p).unwrap();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let samples = 120;
+        let mut sum = 0.0;
+        for _ in 0..samples {
+            let x = d.sample(&mut rng);
+            prop_assert!(x <= n, "Bin({n},{p}) sample {x} above n");
+            if p == 0.0 {
+                prop_assert_eq!(x, 0);
+            }
+            if p == 1.0 {
+                prop_assert_eq!(x, n);
+            }
+            sum += x as f64;
+        }
+        let mean = sum / samples as f64;
+        let expected = n as f64 * p;
+        // 6σ margin on the sample mean, σ = √(np(1-p)/samples).
+        let margin = 6.0 * (n as f64 * p * (1.0 - p) / samples as f64).sqrt() + 0.5;
+        prop_assert!(
+            (mean - expected).abs() < margin,
+            "Bin({n},{p}): mean {mean} vs {expected} (margin {margin})"
+        );
+    }
+
+    /// Converting a per-agent configuration to counts and back preserves the
+    /// multiset of states exactly (order is meaningless for anonymous
+    /// agents).
+    #[test]
+    fn count_configuration_round_trip_preserves_multisets(
+        k in 1usize..6,
+        raw in prop::collection::vec(0usize..100, 1..60),
+    ) {
+        let states: Vec<usize> = raw.iter().map(|s| s % k).collect();
+        let protocol = IndexedStates { n: states.len(), k };
+        let config = Configuration::from_states(states.clone());
+        let counts = CountConfiguration::from_configuration(&protocol, &config);
+        prop_assert_eq!(counts.population() as usize, states.len());
+        prop_assert_eq!(counts.counts().iter().sum::<u64>() as usize, states.len());
+        for state in 0..k {
+            let expected = states.iter().filter(|&&s| s == state).count() as u64;
+            prop_assert_eq!(counts.count(state), expected, "state {}", state);
+        }
+        // Round trip: per-agent → counts → per-agent → counts is a fixpoint.
+        let back = counts.to_configuration(&protocol);
+        prop_assert_eq!(back.len(), config.len());
+        let again = CountConfiguration::from_configuration(&protocol, &back);
+        prop_assert_eq!(counts.counts(), again.counts());
+    }
+
+    /// A uniform multinomial sample is a valid configuration: counts sum to
+    /// the population for any state-space size.
+    #[test]
+    fn multinomial_sample_conserves_population(
+        k in 1usize..12,
+        population in 1u64..5000,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let counts = CountConfiguration::multinomial_uniform(k, population, &mut rng);
+        prop_assert_eq!(counts.num_states(), k);
+        prop_assert_eq!(counts.counts().iter().sum::<u64>(), population);
     }
 
     /// Seed derivation is injective in practice over small trial ranges.

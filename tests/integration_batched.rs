@@ -1,0 +1,141 @@
+//! Integration tests for the batched count-based engine: statistical
+//! equivalence with the per-step engine, and determinism regressions.
+//!
+//! The two engines draw randomness differently, so equal seeds give
+//! different trajectories; what must agree is the *distribution* of
+//! observables. The epidemic completion time is the sharpest such observable
+//! available in closed form (mean ≈ 2·n·ln n for the one-way epidemic), so
+//! the equivalence tests compare completion-time samples of both engines by
+//! mean, variance, and a two-sample Kolmogorov–Smirnov distance. All seeds
+//! are fixed, so these tests are deterministic — the tolerances carry wide
+//! margins over the observed statistics rather than guarding against flake.
+
+use ppsim::epidemic::{measure_epidemic_time, measure_epidemic_time_batched, OneWayEpidemic};
+use ppsim::rng::derive_seed;
+use ppsim::{BatchSimulation, CountConfiguration, Summary};
+
+const N: usize = 512;
+const TRIALS: u64 = 48;
+const BASE_SEED: u64 = 0xBA7C_4ED0;
+
+fn completion_samples(batched: bool) -> Vec<f64> {
+    (0..TRIALS)
+        .map(|trial| {
+            let seed = derive_seed(BASE_SEED, trial);
+            let protocol = OneWayEpidemic::new(N, 1);
+            let t = if batched {
+                measure_epidemic_time_batched(protocol, seed, u64::MAX)
+            } else {
+                measure_epidemic_time(protocol, seed, u64::MAX)
+            };
+            t.expect("epidemic completes") as f64
+        })
+        .collect()
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic: the maximum distance between the
+/// empirical CDFs.
+fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    a.sort_by(|x, y| x.total_cmp(y));
+    b.sort_by(|x, y| x.total_cmp(y));
+    let (mut i, mut j, mut d) = (0usize, 0usize, 0f64);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        let fa = i as f64 / a.len() as f64;
+        let fb = j as f64 / b.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+#[test]
+fn engines_agree_on_the_completion_time_distribution() {
+    let per_step = completion_samples(false);
+    let batched = completion_samples(true);
+    let s_ps = Summary::of(&per_step);
+    let s_b = Summary::of(&batched);
+
+    // Mean: both should sit near 2 n ln n ≈ 6390; the standard error of each
+    // mean is ~2% of it, so a 12% tolerance is a > 4σ margin.
+    let (m_ps, m_b) = (s_ps.mean, s_b.mean);
+    let expected = 2.0 * (N as f64 - 1.0) * (N as f64).ln();
+    assert!(
+        (m_ps - m_b).abs() < 0.12 * m_ps,
+        "means disagree: per-step {m_ps}, batched {m_b}"
+    );
+    for (engine, m) in [("per-step", m_ps), ("batched", m_b)] {
+        assert!(
+            (m - expected).abs() < 0.25 * expected,
+            "{engine} mean {m} far from theory {expected}"
+        );
+    }
+
+    // Variance: a factor-3 band around equality (the ratio of two 48-sample
+    // variance estimates of the same distribution stays well inside it).
+    let ratio = (s_ps.std_dev / s_b.std_dev).powi(2);
+    assert!(
+        (1.0 / 3.0..=3.0).contains(&ratio),
+        "variance ratio {ratio} outside [1/3, 3]"
+    );
+
+    // KS: the 1% critical value for two 48-sample ECDFs is ≈ 0.33.
+    let d = ks_distance(&per_step, &batched);
+    assert!(d < 0.33, "KS distance {d} exceeds the 1% critical value");
+}
+
+#[test]
+fn fixed_seed_reproduces_the_exact_trajectory() {
+    let run = |seed: u64| -> (u64, u64, CountConfiguration) {
+        let protocol = OneWayEpidemic::new(N, 1);
+        let mut sim = BatchSimulation::clean(protocol, seed);
+        let out = sim.run_until(|c| c.count(1) == c.population(), u64::MAX);
+        assert!(out.satisfied);
+        (
+            out.interactions,
+            sim.active_interactions(),
+            sim.counts().clone(),
+        )
+    };
+    let (interactions, active, counts) = run(123);
+    let (interactions2, active2, counts2) = run(123);
+    assert_eq!(interactions, interactions2);
+    assert_eq!(active, active2);
+    assert_eq!(counts, counts2);
+    assert_ne!(run(124).0, interactions, "different seeds must diverge");
+}
+
+/// Snapshot of one full batched trajectory: a refactor of the engine, the
+/// samplers, or the RNG that changes any draw will move this constant. Update
+/// it only for *intentional* trajectory-affecting changes, and say so in the
+/// commit message.
+#[test]
+fn batched_trajectory_snapshot_is_stable() {
+    let protocol = OneWayEpidemic::new(256, 1);
+    let mut sim = BatchSimulation::clean(protocol, 42);
+    let out = sim.run_until(|c| c.count(1) == c.population(), u64::MAX);
+    assert!(out.satisfied);
+    assert_eq!(sim.counts().counts(), &[0, 256]);
+    assert_eq!(sim.active_interactions(), 255);
+    assert_eq!(out.interactions, 3_143, "trajectory snapshot moved");
+}
+
+/// The count representation and the per-agent representation describe the
+/// same population: converting the final batched state to a per-agent
+/// configuration preserves the multiset.
+#[test]
+fn batched_final_state_converts_to_a_full_configuration() {
+    let protocol = OneWayEpidemic::new(100, 7);
+    let mut sim = BatchSimulation::clean(protocol, 5);
+    sim.run(1_000);
+    let config = sim.to_configuration();
+    assert_eq!(config.len(), 100);
+    let informed = config.count_where(|s| *s);
+    assert_eq!(informed as u64, sim.counts().count(1));
+    assert!(informed >= 7, "sources stay informed");
+}

@@ -157,6 +157,169 @@ pub trait Rng: RngCore {
 
 impl<R: RngCore + ?Sized> Rng for R {}
 
+pub mod distributions {
+    //! Probability distributions.
+    //!
+    //! Upstream `rand` 0.8 keeps `Geometric` and `Binomial` in the companion
+    //! `rand_distr` crate; this stand-in hosts them under
+    //! `rand::distributions` so the workspace needs only one dependency. The
+    //! item names and `Distribution::sample` signature match `rand_distr`,
+    //! so restoring the real crates is a use-path change only.
+
+    use crate::RngCore;
+    use core::fmt;
+
+    /// Types that sample values of type `T` from an RNG.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error returned by distribution constructors on invalid parameters.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ParameterError(&'static str);
+
+    impl fmt::Display for ParameterError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "invalid distribution parameter: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for ParameterError {}
+
+    /// Draws a uniform value in the *open* interval `(0, 1)`, so `ln` of the
+    /// result is always finite.
+    #[inline]
+    fn open01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The geometric distribution `Geo(p)`: the number of *failures* before
+    /// the first success in independent Bernoulli(`p`) trials. Support
+    /// `{0, 1, 2, …}`, mean `(1-p)/p`.
+    ///
+    /// Sampling is by inversion — `⌊ln U / ln(1-p)⌋` for `U` uniform in
+    /// `(0, 1)` — which costs one RNG draw and two logarithms regardless of
+    /// the returned value. This is what makes batched population-protocol
+    /// simulation cheap: skipping a run of `G` no-op interactions costs O(1).
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Geometric {
+        p: f64,
+    }
+
+    impl Geometric {
+        /// Creates `Geo(p)`. Fails unless `0 < p ≤ 1`.
+        pub fn new(p: f64) -> Result<Self, ParameterError> {
+            if p > 0.0 && p <= 1.0 {
+                Ok(Geometric { p })
+            } else {
+                Err(ParameterError(
+                    "geometric success probability must be in (0, 1]",
+                ))
+            }
+        }
+
+        /// The success probability `p`.
+        pub fn p(&self) -> f64 {
+            self.p
+        }
+    }
+
+    impl Distribution<u64> for Geometric {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            if self.p >= 1.0 {
+                return 0;
+            }
+            // ln(1-p) via ln_1p for accuracy at small p; below p = 1e-4 the
+            // truncated series -(p + p²/2 + p³/3) is within 2.5e-13 relative
+            // error and saves the transcendental — this is the hot path of
+            // batched simulation, where p is the per-interaction probability
+            // of a state change.
+            let p = self.p;
+            let denom = if p < 1e-4 {
+                -p * (1.0 + p * (0.5 + p / 3.0))
+            } else {
+                (-p).ln_1p()
+            };
+            let k = open01(rng).ln() / denom;
+            if k >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                k as u64
+            }
+        }
+    }
+
+    /// The binomial distribution `Bin(n, p)`: the number of successes in `n`
+    /// independent Bernoulli(`p`) trials. Support `{0, …, n}`, mean `n·p`.
+    ///
+    /// Sampling counts successes by geometric jumps over the failure runs,
+    /// which costs `O(n·min(p, 1-p) + 1)` expected time — exact for every
+    /// parameter choice, and fast in the small-`n·p` regime the simulation
+    /// engine and the experiment harness use.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Binomial {
+        n: u64,
+        p: f64,
+    }
+
+    impl Binomial {
+        /// Creates `Bin(n, p)`. Fails unless `0 ≤ p ≤ 1`.
+        pub fn new(n: u64, p: f64) -> Result<Self, ParameterError> {
+            if (0.0..=1.0).contains(&p) {
+                Ok(Binomial { n, p })
+            } else {
+                Err(ParameterError(
+                    "binomial success probability must be in [0, 1]",
+                ))
+            }
+        }
+
+        /// The number of trials `n`.
+        pub fn n(&self) -> u64 {
+            self.n
+        }
+
+        /// The success probability `p`.
+        pub fn p(&self) -> f64 {
+            self.p
+        }
+    }
+
+    impl Distribution<u64> for Binomial {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            // Work with q = min(p, 1-p) and flip the count back at the end.
+            let flipped = self.p > 0.5;
+            let q = if flipped { 1.0 - self.p } else { self.p };
+            if q <= 0.0 {
+                return if flipped { self.n } else { 0 };
+            }
+            let jumps = Geometric { p: q };
+            let mut successes = 0u64;
+            let mut remaining = self.n;
+            // Each geometric draw is the length of the failure run before the
+            // next success; stop once the run overshoots the trials left.
+            loop {
+                let run = jumps.sample(rng);
+                if run >= remaining {
+                    break;
+                }
+                successes += 1;
+                remaining -= run + 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            if flipped {
+                self.n - successes
+            } else {
+                successes
+            }
+        }
+    }
+}
+
 pub mod rngs {
     //! Concrete generator implementations.
 
@@ -208,8 +371,85 @@ pub mod rngs {
 
 #[cfg(test)]
 mod tests {
+    use super::distributions::{Binomial, Distribution, Geometric};
     use super::rngs::mock::StepRng;
     use super::{Rng, RngCore};
+
+    /// A Weyl-sequence RNG: equidistributed enough for coarse moment checks.
+    fn weyl() -> StepRng {
+        StepRng::new(0x1234_5678_9ABC_DEF0, 0x9E37_79B9_7F4A_7C15)
+    }
+
+    #[test]
+    fn geometric_rejects_invalid_p() {
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(-0.1).is_err());
+        assert!(Geometric::new(1.1).is_err());
+        assert!(Geometric::new(f64::NAN).is_err());
+        assert_eq!(Geometric::new(0.25).unwrap().p(), 0.25);
+    }
+
+    #[test]
+    fn geometric_with_p_one_is_always_zero() {
+        let d = Geometric::new(1.0).unwrap();
+        let mut rng = weyl();
+        for _ in 0..32 {
+            assert_eq!(d.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_tracks_one_minus_p_over_p() {
+        let mut rng = weyl();
+        for p in [0.1f64, 0.3, 0.7] {
+            let d = Geometric::new(p).unwrap();
+            let samples = 4000;
+            let mean: f64 =
+                (0..samples).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / samples as f64;
+            let expected = (1.0 - p) / p;
+            assert!(
+                (mean - expected).abs() < 0.2 * expected + 0.1,
+                "p={p}: mean {mean} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_rejects_invalid_p() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        let d = Binomial::new(10, 0.5).unwrap();
+        assert_eq!((d.n(), d.p()), (10, 0.5));
+    }
+
+    #[test]
+    fn binomial_degenerate_parameters() {
+        let mut rng = weyl();
+        assert_eq!(Binomial::new(17, 0.0).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(17, 1.0).unwrap().sample(&mut rng), 17);
+        assert_eq!(Binomial::new(0, 0.4).unwrap().sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn binomial_stays_in_range_and_tracks_mean() {
+        let mut rng = weyl();
+        for (n, p) in [(40u64, 0.2f64), (40, 0.8), (200, 0.5)] {
+            let d = Binomial::new(n, p).unwrap();
+            let samples = 2000;
+            let mut sum = 0.0;
+            for _ in 0..samples {
+                let x = d.sample(&mut rng);
+                assert!(x <= n, "Bin({n},{p}) sample {x} out of range");
+                sum += x as f64;
+            }
+            let mean = sum / samples as f64;
+            let expected = n as f64 * p;
+            assert!(
+                (mean - expected).abs() < 0.15 * expected + 0.5,
+                "Bin({n},{p}): mean {mean} vs expected {expected}"
+            );
+        }
+    }
 
     #[test]
     fn step_rng_steps() {

@@ -55,6 +55,7 @@ impl ChaCha8Rng {
         self.counter = self.counter.wrapping_add(1);
     }
 
+    #[inline]
     fn next_word(&mut self) -> u32 {
         if self.cursor >= 16 {
             self.refill();
@@ -65,6 +66,7 @@ impl ChaCha8Rng {
     }
 }
 
+#[inline]
 fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
     state[a] = state[a].wrapping_add(state[b]);
     state[d] = (state[d] ^ state[a]).rotate_left(16);
@@ -94,10 +96,12 @@ impl SeedableRng for ChaCha8Rng {
 }
 
 impl RngCore for ChaCha8Rng {
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         self.next_word()
     }
 
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         let lo = u64::from(self.next_word());
         let hi = u64::from(self.next_word());
