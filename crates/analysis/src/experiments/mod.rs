@@ -1,4 +1,4 @@
-//! The experiments of `EXPERIMENTS.md` (E1–E9).
+//! The experiments of `EXPERIMENTS.md` (E1–E11).
 //!
 //! Every experiment is a function from a [`Scale`] to a [`Table`]. The
 //! sub-modules group the experiments by theme:
@@ -11,9 +11,12 @@
 //! * [`comparison`] — E6 (`ElectLeader_r` versus the baseline protocols),
 //! * [`substrate`] — E8 (epidemic constant and load balancing) and E9
 //!   (synthetic-coin quality, Appendix B),
-//! * [`scaling`] — E10 (batched vs per-step engine throughput at large `n`).
+//! * [`scaling`] — E10 (batched vs per-step engine throughput at large `n`),
+//! * [`discovered`] — E11 (`ElectLeader_r` stabilization curves under the
+//!   batched engine via dynamic state indexing).
 
 pub mod comparison;
+pub mod discovered;
 pub mod recovery;
 pub mod reset;
 pub mod scaling;
@@ -28,7 +31,7 @@ use ppsim::simulation::StabilizationOptions;
 use ppsim::{Configuration, SimRng, Simulation};
 use ssle_core::{output, ElectLeader, Scenario};
 
-/// Runs every experiment at the given scale, in E1…E10 order.
+/// Runs every experiment at the given scale, in E1…E11 order.
 pub fn all(scale: Scale) -> Vec<Table> {
     vec![
         tradeoff::e1_tradeoff_time(scale),
@@ -41,13 +44,15 @@ pub fn all(scale: Scale) -> Vec<Table> {
         substrate::e8_substrate(scale),
         substrate::e9_coin(scale),
         scaling::e10_engine_scale(scale),
+        discovered::e11_discovered_curves(scale),
     ]
 }
 
-/// Looks up a single experiment by its identifier (`"e1"` … `"e10"`).
+/// Looks up a single experiment by its identifier (`"e1"` … `"e11"`).
 pub fn by_id(id: &str, scale: Scale) -> Option<Table> {
     match id {
         "e10" => Some(scaling::e10_engine_scale(scale)),
+        "e11" => Some(discovered::e11_discovered_curves(scale)),
         "e1" => Some(tradeoff::e1_tradeoff_time(scale)),
         "e2" => Some(tradeoff::e2_state_space(scale)),
         "e3" => Some(reset::e3_post_reset(scale)),

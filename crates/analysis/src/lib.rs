@@ -1,7 +1,7 @@
 //! # analysis — the experiment harness of the SSLE reproduction
 //!
 //! This crate turns the protocols of [`ssle_core`] and [`baselines`] into the
-//! measured experiments listed in `EXPERIMENTS.md` (E1–E9). It provides
+//! measured experiments listed in `EXPERIMENTS.md` (E1–E11). It provides
 //!
 //! * [`runner`] — seeded, parallel trial execution and aggregation,
 //! * [`table`] — a small result-table type with Markdown/CSV emitters,

@@ -108,6 +108,32 @@ impl Scale {
         }
     }
 
+    /// The population sizes of the E11 `ElectLeader_r` sweep under the
+    /// dynamically indexed batched engine.
+    ///
+    /// Far smaller than [`Scale::batched_n_values`]: `ElectLeader_r` states
+    /// are *wide* (message stores of size `Θ(r²)`) and nearly every
+    /// interaction is state-changing before stabilization, so the sweep is
+    /// bounded by per-state work rather than by silent-run skipping.
+    pub fn discovered_n_values(self) -> Vec<usize> {
+        match self {
+            Scale::Tiny => vec![12, 16],
+            Scale::Quick => vec![16, 24, 32, 48],
+            Scale::Full => vec![16, 24, 32, 48, 64, 96],
+        }
+    }
+
+    /// The largest population the per-step engine cross-validates the E11
+    /// sweep at (stabilization-time distributions of the two engines are
+    /// compared at every overlap size).
+    pub fn discovered_per_step_n_cap(self) -> usize {
+        match self {
+            Scale::Tiny => 16,
+            Scale::Quick => 32,
+            Scale::Full => 64,
+        }
+    }
+
     /// The base seed from which all per-trial seeds are derived.
     pub fn base_seed(self) -> u64 {
         match self {
@@ -138,9 +164,13 @@ mod tests {
             assert!(rs.iter().all(|&r| r >= 1 && r <= n / 2), "{rs:?}");
             assert!(rs.contains(&(n / 2)), "the fastest regime must be included");
             assert!(rs.contains(&1), "the smallest regime must be included");
-            let mut sorted = rs.clone();
-            sorted.dedup();
-            assert_eq!(sorted, rs, "values must be strictly increasing");
+            // `windows(2)` checks real strict monotonicity; `dedup()` on the
+            // unsorted clone used before only caught *adjacent* duplicates
+            // and would have accepted an out-of-order grid.
+            assert!(
+                rs.windows(2).all(|w| w[0] < w[1]),
+                "values must be strictly increasing: {rs:?}"
+            );
         }
     }
 
@@ -160,6 +190,22 @@ mod tests {
                 scale.batched_n_values().iter().any(|&n| n <= cap),
                 "at least one n must run under both engines"
             );
+        }
+    }
+
+    #[test]
+    fn discovered_sweep_is_monotone_and_overlaps_with_per_step() {
+        for scale in [Scale::Tiny, Scale::Quick, Scale::Full] {
+            let ns = scale.discovered_n_values();
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "{ns:?}");
+            let cap = scale.discovered_per_step_n_cap();
+            assert!(
+                ns.iter().any(|&n| n <= cap),
+                "at least one n must run under both engines for cross-validation"
+            );
+            // Every sweep point admits the fast-regime ratio r = max(1, n/4)
+            // within the theorem range 1 <= r <= n/2.
+            assert!(ns.iter().all(|&n| (n / 4).max(1) <= n / 2));
         }
     }
 }

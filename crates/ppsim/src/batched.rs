@@ -21,11 +21,30 @@
 //! from `O(#interactions)` to `O(#state-changing interactions)`, which is
 //! what makes `n ≥ 10⁶` stabilization-time sweeps tractable.
 //!
-//! Construction enumerates all `|Q|²` ordered state pairs once to find the
-//! non-silent ones, and every round scans that non-silent set; the engine is
-//! therefore intended for protocols with small-to-moderate state spaces
-//! (`|Q|` up to a few thousand), which covers the paper's epidemics and the
-//! baseline protocols.
+//! # Sparse pair-weight maintenance
+//!
+//! The sampling weights of the non-silent ordered state pairs are kept in a
+//! [`PairIndex`]: a Fenwick (binary indexed) tree over the pairs of states
+//! that are **currently occupied**, updated incrementally in
+//! `O(#pairs touched · log #pairs)` when a transition changes two counts.
+//! Nothing is enumerated up front — neither the state space nor the `|Q|²`
+//! pair space — so the engine serves three kinds of protocols:
+//!
+//! * small enumerated state spaces (the epidemics, the baselines), where the
+//!   occupied set is simply all of `Q`,
+//! * enumerated but large state spaces, where only the occupied corner is
+//!   ever touched,
+//! * *dynamically discovered* state spaces
+//!   ([`crate::indexer::DiscoveredProtocol`]), where
+//!   [`EnumerableProtocol::num_states`] grows as transitions reach new
+//!   states; the engine re-reads it after every transition and grows its
+//!   count vector and pair index accordingly.
+//!
+//! Transition outcomes are sampled through
+//! [`EnumerableProtocol::transition_support`] when the protocol enumerates
+//! its outcome distribution (deterministic transitions and small-support
+//! coin flips), and fall back to a blind
+//! [`EnumerableProtocol::transition_indices`] call otherwise.
 
 use crate::configuration::Configuration;
 use crate::convergence::{StabilizationDetector, StabilizationResult};
@@ -35,6 +54,8 @@ use crate::protocol::{CleanInit, InteractionCtx};
 use crate::rng::{uniform_below, SimRng};
 use crate::simulation::{RunOutcome, StabilizationOptions};
 use rand::distributions::{Distribution, Geometric};
+use rand::RngCore;
+use std::collections::HashMap;
 
 /// What one call to [`BatchSimulation::advance_batch`] did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,8 +70,409 @@ struct BatchOutcome {
     stalled: bool,
 }
 
+/// A Fenwick (binary indexed) tree over `u64` weights with appendable
+/// positions and prefix-threshold search.
+///
+/// Weights are true non-negative sums that fit `u64` (the engine bounds the
+/// population so that `n(n-1)` is representable); point updates use wrapping
+/// arithmetic so decreases need no signed type.
+#[derive(Debug, Default)]
+struct Fenwick {
+    /// 1-based node array: `tree[i]` sums the weight range `(i - lowbit(i), i]`.
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    /// Appends a new position holding `value`.
+    fn push(&mut self, value: u64) {
+        let i = self.tree.len() + 1;
+        let lowbit = i & i.wrapping_neg();
+        let mut node = value;
+        let mut j = i - 1;
+        while j > i - lowbit {
+            node = node.wrapping_add(self.tree[j - 1]);
+            j -= j & j.wrapping_neg();
+        }
+        self.tree.push(node);
+    }
+
+    /// Adds `new.wrapping_sub(old)` at 0-based position `index`.
+    fn update(&mut self, index: usize, old: u64, new: u64) {
+        let delta = new.wrapping_sub(old);
+        let mut i = index + 1;
+        while i <= self.tree.len() {
+            self.tree[i - 1] = self.tree[i - 1].wrapping_add(delta);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// The 0-based position `k` with `prefix_sum(k) <= threshold <
+    /// prefix_sum(k + 1)` — i.e. the weight slot a uniform `threshold` in
+    /// `[0, total)` selects. Requires `threshold < total`.
+    fn search(&self, mut threshold: u64) -> usize {
+        let mut pos = 0usize;
+        let mut mask = self.tree.len().next_power_of_two();
+        // `next_power_of_two` may exceed the length; the bounds check below
+        // handles that, and halving reaches every admissible step size.
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= self.tree.len() && self.tree[next - 1] <= threshold {
+                threshold -= self.tree[next - 1];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        pos
+    }
+}
+
+/// One tracked ordered state pair.
+#[derive(Debug, Clone, Copy)]
+struct PairSlot {
+    u: usize,
+    v: usize,
+    weight: u64,
+    alive: bool,
+}
+
+/// Sparse, incrementally maintained sampling weights over the non-silent
+/// ordered pairs of **occupied** states.
+///
+/// The weight of the ordered state pair `(u, v)` is the number of ordered
+/// agent pairs realizing it — `c_u · c_v`, or `c_u · (c_u − 1)` on the
+/// diagonal — so the weights are disjoint over pairs and sum to at most
+/// `n(n-1)`. Slots exist exactly for the non-silent pairs of currently
+/// occupied states; when a state's count reaches zero its slots die, and the
+/// structure compacts itself once dead slots pile up.
+#[derive(Debug, Default)]
+struct PairIndex {
+    slots: Vec<PairSlot>,
+    slot_of: HashMap<(usize, usize), usize>,
+    /// `by_state[s]` lists slots that (may) reference `s`; entries go stale
+    /// when slots die and are compacted on the next traversal.
+    by_state: Vec<Vec<usize>>,
+    tree: Fenwick,
+    /// Occupied states, in discovery order (construction: ascending).
+    occupied: Vec<usize>,
+    /// `occupied_pos[s]` is the index of `s` in `occupied`, or `usize::MAX`.
+    occupied_pos: Vec<usize>,
+    /// Sum of live weights (wrapping mirror of the Fenwick total).
+    total_weight: u64,
+    live: usize,
+    dead: usize,
+    /// Number of live slots with strictly positive weight, plus a lazily
+    /// refreshed witness used to skip the pair-selection RNG draw when the
+    /// pick is forced.
+    positive: usize,
+    sole_positive: Option<usize>,
+}
+
+impl PairIndex {
+    /// Builds the index for the occupied states of `counts`, enumerating
+    /// occupied ordered pairs in ascending `(u, v)` order (which makes the
+    /// selection scan order match the historical dense enumeration).
+    fn new<P: EnumerableProtocol>(protocol: &P, counts: &CountConfiguration) -> Self {
+        let mut index = PairIndex {
+            by_state: vec![Vec::new(); counts.num_states()],
+            occupied_pos: vec![usize::MAX; counts.num_states()],
+            ..PairIndex::default()
+        };
+        let occupied: Vec<usize> = counts.occupied().map(|(s, _)| s).collect();
+        for &s in &occupied {
+            index.occupied_pos[s] = index.occupied.len();
+            index.occupied.push(s);
+        }
+        for &u in &occupied {
+            for &v in &occupied {
+                if !protocol.is_silent(u, v) {
+                    index.add_slot(u, v, pair_weight(counts, u, v));
+                }
+            }
+        }
+        index
+    }
+
+    /// Grows the per-state tables to cover `num_states` states.
+    fn grow(&mut self, num_states: usize) {
+        if num_states > self.by_state.len() {
+            self.by_state.resize_with(num_states, Vec::new);
+            self.occupied_pos.resize(num_states, usize::MAX);
+        }
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// The pair a uniform `threshold < total_weight()` selects.
+    fn select(&self, threshold: u64) -> (usize, usize) {
+        let slot = &self.slots[self.tree.search(threshold)];
+        debug_assert!(slot.alive && slot.weight > 0);
+        (slot.u, slot.v)
+    }
+
+    /// The single positive-weight pair, if there is exactly one (refreshing
+    /// the lazily invalidated witness as needed).
+    fn sole_positive_pair(&mut self) -> Option<(usize, usize)> {
+        if self.positive != 1 {
+            return None;
+        }
+        if self
+            .sole_positive
+            .map(|k| !(self.slots[k].alive && self.slots[k].weight > 0))
+            .unwrap_or(true)
+        {
+            self.sole_positive = self
+                .slots
+                .iter()
+                .position(|slot| slot.alive && slot.weight > 0);
+        }
+        self.sole_positive
+            .map(|k| (self.slots[k].u, self.slots[k].v))
+    }
+
+    /// Records that the counts of `affected` states changed from the given
+    /// old values to their current values in `counts`, updating occupancy,
+    /// slots, and weights.
+    fn note_counts_changed<P: EnumerableProtocol>(
+        &mut self,
+        protocol: &P,
+        counts: &CountConfiguration,
+        affected: &[(usize, u64)],
+    ) {
+        for &(s, old) in affected {
+            let new = counts.count(s);
+            if old == new {
+                continue;
+            }
+            if new == 0 {
+                self.remove_state(s);
+            } else if old == 0 {
+                self.add_state(protocol, counts, s);
+            } else {
+                self.refresh_state_weights(counts, s);
+            }
+        }
+        if self.dead > self.live + 1024 {
+            self.compact();
+        }
+    }
+
+    fn set_weight(&mut self, slot: usize, weight: u64) {
+        let old = self.slots[slot].weight;
+        if old == weight {
+            return;
+        }
+        self.slots[slot].weight = weight;
+        self.tree.update(slot, old, weight);
+        self.total_weight = self.total_weight.wrapping_add(weight.wrapping_sub(old));
+        match (old > 0, weight > 0) {
+            (false, true) => self.positive += 1,
+            (true, false) => self.positive -= 1,
+            _ => {}
+        }
+        self.sole_positive = None;
+    }
+
+    fn add_slot(&mut self, u: usize, v: usize, weight: u64) {
+        let id = self.slots.len();
+        self.slots.push(PairSlot {
+            u,
+            v,
+            weight: 0,
+            alive: true,
+        });
+        self.tree.push(0);
+        self.slot_of.insert((u, v), id);
+        self.by_state[u].push(id);
+        if v != u {
+            self.by_state[v].push(id);
+        }
+        self.live += 1;
+        self.set_weight(id, weight);
+    }
+
+    fn kill_slot(&mut self, id: usize) {
+        debug_assert!(self.slots[id].alive);
+        self.set_weight(id, 0);
+        self.slots[id].alive = false;
+        let key = (self.slots[id].u, self.slots[id].v);
+        self.slot_of.remove(&key);
+        self.live -= 1;
+        self.dead += 1;
+    }
+
+    /// Adds a slot for `(u, v)` unless it already exists or the pair is
+    /// silent.
+    fn try_add_slot<P: EnumerableProtocol>(
+        &mut self,
+        protocol: &P,
+        counts: &CountConfiguration,
+        u: usize,
+        v: usize,
+    ) {
+        if !self.slot_of.contains_key(&(u, v)) && !protocol.is_silent(u, v) {
+            self.add_slot(u, v, pair_weight(counts, u, v));
+        }
+    }
+
+    /// A state's count rose from zero: register it and create slots for its
+    /// non-silent pairs against every occupied state (itself included).
+    fn add_state<P: EnumerableProtocol>(
+        &mut self,
+        protocol: &P,
+        counts: &CountConfiguration,
+        s: usize,
+    ) {
+        debug_assert_eq!(self.occupied_pos[s], usize::MAX);
+        self.occupied_pos[s] = self.occupied.len();
+        self.occupied.push(s);
+        let partners: Vec<usize> = self.occupied.clone();
+        for t in partners {
+            if t == s {
+                self.try_add_slot(protocol, counts, s, s);
+            } else {
+                self.try_add_slot(protocol, counts, s, t);
+                self.try_add_slot(protocol, counts, t, s);
+            }
+        }
+    }
+
+    /// A state's count reached zero: drop it from the occupied set and kill
+    /// every slot referencing it.
+    fn remove_state(&mut self, s: usize) {
+        let pos = self.occupied_pos[s];
+        debug_assert_ne!(pos, usize::MAX);
+        let last = *self.occupied.last().expect("occupied set is non-empty");
+        self.occupied.swap_remove(pos);
+        if last != s {
+            self.occupied_pos[last] = pos;
+        }
+        self.occupied_pos[s] = usize::MAX;
+        let ids = std::mem::take(&mut self.by_state[s]);
+        for id in ids {
+            let slot = self.slots[id];
+            if slot.alive && (slot.u == s || slot.v == s) {
+                self.kill_slot(id);
+            }
+        }
+    }
+
+    /// Refreshes the weights of the live slots referencing `s`, compacting
+    /// stale `by_state` entries on the way.
+    fn refresh_state_weights(&mut self, counts: &CountConfiguration, s: usize) {
+        let mut ids = std::mem::take(&mut self.by_state[s]);
+        ids.retain(|&id| {
+            let slot = self.slots[id];
+            slot.alive && (slot.u == s || slot.v == s)
+        });
+        for &id in &ids {
+            let (u, v) = (self.slots[id].u, self.slots[id].v);
+            self.set_weight(id, pair_weight(counts, u, v));
+        }
+        self.by_state[s] = ids;
+    }
+
+    /// Rebuilds the slot tables from the live slots only (dead slots and
+    /// stale `by_state` entries accumulate between compactions).
+    fn compact(&mut self) {
+        let live: Vec<PairSlot> = self.slots.iter().copied().filter(|s| s.alive).collect();
+        self.slots.clear();
+        self.slot_of.clear();
+        self.tree = Fenwick::default();
+        for list in &mut self.by_state {
+            list.clear();
+        }
+        self.live = 0;
+        self.dead = 0;
+        self.positive = 0;
+        self.sole_positive = None;
+        let total_before = self.total_weight;
+        self.total_weight = 0;
+        for slot in live {
+            self.add_slot(slot.u, slot.v, slot.weight);
+        }
+        debug_assert_eq!(self.total_weight, total_before);
+    }
+
+    /// Exhaustive consistency check against a brute-force recomputation —
+    /// test-only, O(occupied² + slots).
+    #[cfg(test)]
+    fn assert_consistent<P: EnumerableProtocol>(&self, protocol: &P, counts: &CountConfiguration) {
+        use std::collections::HashSet;
+        let occupied: Vec<usize> = counts.occupied().map(|(s, _)| s).collect();
+        let occupied_set: HashSet<usize> = occupied.iter().copied().collect();
+        assert_eq!(
+            occupied_set,
+            self.occupied.iter().copied().collect::<HashSet<_>>(),
+            "occupied set out of sync"
+        );
+        let mut expected_total = 0u64;
+        let mut expected_pairs = HashSet::new();
+        for &u in &occupied {
+            for &v in &occupied {
+                if !protocol.is_silent(u, v) {
+                    expected_pairs.insert((u, v));
+                    expected_total += pair_weight(counts, u, v);
+                }
+            }
+        }
+        let mut live_pairs = HashSet::new();
+        let mut live_total = 0u64;
+        for slot in self.slots.iter().filter(|s| s.alive) {
+            assert_eq!(slot.weight, pair_weight(counts, slot.u, slot.v));
+            assert!(live_pairs.insert((slot.u, slot.v)), "duplicate live slot");
+            live_total += slot.weight;
+        }
+        assert_eq!(live_pairs, expected_pairs, "live slots out of sync");
+        assert_eq!(live_total, expected_total);
+        assert_eq!(self.total_weight, expected_total, "total weight drifted");
+        assert_eq!(
+            self.positive,
+            self.slots
+                .iter()
+                .filter(|s| s.alive && s.weight > 0)
+                .count(),
+            "positive-slot count drifted"
+        );
+    }
+}
+
+/// Number of ordered agent pairs realizing the ordered state pair `(u, v)`.
+fn pair_weight(counts: &CountConfiguration, u: usize, v: usize) -> u64 {
+    let cu = counts.count(u);
+    if u == v {
+        cu * cu.saturating_sub(1)
+    } else {
+        cu * counts.count(v)
+    }
+}
+
+/// Samples an outcome from a non-empty
+/// [`EnumerableProtocol::transition_support`] distribution.
+fn sample_support(rng: &mut SimRng, support: &[((usize, usize), f64)]) -> (usize, usize) {
+    debug_assert!(support.iter().all(|&(_, w)| w > 0.0));
+    let total: f64 = support.iter().map(|&(_, w)| w).sum();
+    // 53 uniform bits, scaled to [0, total).
+    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    let threshold = unit * total;
+    let mut acc = 0.0;
+    for &(pair, w) in support {
+        acc += w;
+        if threshold < acc {
+            return pair;
+        }
+    }
+    support.last().expect("support is non-empty").0
+}
+
 /// A population-protocol execution on state counts, batching silent
 /// interactions.
+///
+/// Construction touches only the **occupied** corner of the pair space, so
+/// the engine is as comfortable with a protocol of thousands of reachable
+/// states — or a dynamically discovered, effectively unbounded state space
+/// ([`crate::indexer::DiscoveredProtocol`]) — as with a two-state epidemic.
 #[derive(Debug)]
 pub struct BatchSimulation<P: EnumerableProtocol> {
     protocol: P,
@@ -58,11 +480,7 @@ pub struct BatchSimulation<P: EnumerableProtocol> {
     rng: SimRng,
     interactions: u64,
     active_interactions: u64,
-    /// The ordered state pairs the protocol does not declare silent,
-    /// precomputed at construction.
-    active_pairs: Vec<(usize, usize)>,
-    /// Per-round scratch: sampling weight of each active pair.
-    weights: Vec<u64>,
+    pairs: PairIndex,
 }
 
 impl<P: EnumerableProtocol> BatchSimulation<P> {
@@ -96,23 +514,14 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
             counts.population() <= u64::from(u32::MAX),
             "the batched engine supports populations up to 2^32 - 1"
         );
-        let mut active_pairs = Vec::new();
-        for u in 0..q {
-            for v in 0..q {
-                if !protocol.is_silent(u, v) {
-                    active_pairs.push((u, v));
-                }
-            }
-        }
-        let pairs = active_pairs.len();
+        let pairs = PairIndex::new(&protocol, &counts);
         BatchSimulation {
             protocol,
             counts,
             rng: SimRng::seed_from_u64(seed),
             interactions: 0,
             active_interactions: 0,
-            active_pairs,
-            weights: vec![0; pairs],
+            pairs,
         }
     }
 
@@ -155,6 +564,9 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
 
     /// Number of non-silent interactions actually executed — the quantity
     /// the engine's running time is proportional to.
+    ///
+    /// "Non-silent" means the pair was not *declared* silent: an executed
+    /// interaction of a randomized pair may still map the pair to itself.
     pub fn active_interactions(&self) -> u64 {
         self.active_interactions
     }
@@ -164,6 +576,16 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
         self.interactions as f64 / self.counts.population() as f64
     }
 
+    /// Grows the count vector and pair index when the protocol discovered
+    /// new states (a no-op for statically enumerated protocols).
+    fn sync_state_space(&mut self) {
+        let q = self.protocol.num_states();
+        if q > self.counts.num_states() {
+            self.counts.ensure_num_states(q);
+            self.pairs.grow(q);
+        }
+    }
+
     /// Advances by one batch: a sampled run of silent interactions followed
     /// by one non-silent interaction, truncated to `budget` interactions in
     /// total.
@@ -171,27 +593,7 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
         debug_assert!(budget > 0);
         let n = self.counts.population();
         let total_pairs = n * (n - 1);
-        // Weight of ordered state pair (u, v): the number of ordered agent
-        // pairs realizing it. Disjoint over pairs, so the sum is at most
-        // n(n-1), which fits u64 thanks to the n <= 2^32 - 1 bound checked
-        // at construction.
-        let mut total_weight = 0u64;
-        let mut occupied_pairs = 0usize;
-        let mut last_occupied = 0usize;
-        for (k, (slot, &(u, v))) in self.weights.iter_mut().zip(&self.active_pairs).enumerate() {
-            let cu = self.counts.count(u);
-            let cv = self.counts.count(v);
-            *slot = if u == v {
-                cu * cu.saturating_sub(1)
-            } else {
-                cu * cv
-            };
-            if *slot > 0 {
-                occupied_pairs += 1;
-                last_occupied = k;
-            }
-            total_weight += *slot;
-        }
+        let total_weight = self.pairs.total_weight();
         if total_weight == 0 {
             // Every occupied pair is silent: the configuration is frozen
             // forever, so the rest of the budget is all no-ops.
@@ -220,28 +622,40 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
         }
         // The non-silent interaction: pick the state pair with probability
         // proportional to its weight, then apply the transition. With a
-        // single occupied pair (e.g. the one-way epidemic) the pick is
-        // forced, saving the RNG draw.
-        let pick = if occupied_pairs == 1 {
-            last_occupied
-        } else {
-            let threshold = uniform_below(&mut self.rng, total_weight);
-            let mut acc = 0u64;
-            let mut pick = self.active_pairs.len() - 1;
-            for (k, &w) in self.weights.iter().enumerate() {
-                acc += w;
-                if threshold < acc {
-                    pick = k;
-                    break;
-                }
+        // single positive-weight pair (e.g. the one-way epidemic) the pick
+        // is forced, saving the RNG draw.
+        let (u, v) = match self.pairs.sole_positive_pair() {
+            Some(pair) => pair,
+            None => {
+                let threshold = uniform_below(&mut self.rng, total_weight);
+                self.pairs.select(threshold)
             }
-            pick
         };
-        let (u, v) = self.active_pairs[pick];
         let interaction = self.interactions + silent;
-        let mut ctx = InteractionCtx::new(&mut self.rng, interaction);
-        let to = self.protocol.transition_indices(u, v, &mut ctx);
+        // Outcome: exact sampling from the protocol's enumerated support
+        // where available, blind execution otherwise. Either path may
+        // discover new states under a dynamic indexer.
+        let support = self.protocol.transition_support(u, v);
+        let to = match support.len() {
+            0 => {
+                let mut ctx = InteractionCtx::new(&mut self.rng, interaction);
+                self.protocol.transition_indices(u, v, &mut ctx)
+            }
+            1 => support[0].0,
+            _ => sample_support(&mut self.rng, &support),
+        };
+        self.sync_state_space();
+        let mut affected: [(usize, u64); 4] = [(usize::MAX, 0); 4];
+        let mut distinct = 0usize;
+        for s in [u, v, to.0, to.1] {
+            if !affected[..distinct].iter().any(|&(t, _)| t == s) {
+                affected[distinct] = (s, self.counts.count(s));
+                distinct += 1;
+            }
+        }
         self.counts.apply_transition((u, v), to);
+        self.pairs
+            .note_counts_changed(&self.protocol, &self.counts, &affected[..distinct]);
         self.interactions += silent + 1;
         self.active_interactions += 1;
         BatchOutcome {
@@ -267,9 +681,10 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
     ///
     /// Because silent interactions cannot change the configuration, the
     /// predicate is evaluated only after state changes; the reported
-    /// interaction count is nevertheless exact — it is the index of the
-    /// state-changing interaction that made the predicate true, just as the
-    /// per-agent engine would report.
+    /// [`RunOutcome::interactions`] count is nevertheless exact — and, as in
+    /// the per-agent engine, it is **relative**: the number of interactions
+    /// executed *by this call*, not the absolute interaction index (contrast
+    /// [`StabilizationResult::stabilized_at`], which is absolute).
     pub fn run_until<F>(&mut self, mut pred: F, budget: u64) -> RunOutcome
     where
         F: FnMut(&CountConfiguration) -> bool,
@@ -303,9 +718,12 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
 
     /// Measures the stabilization time of the output predicate `pred`, with
     /// the same semantics as [`crate::Simulation::measure_stabilization`]:
-    /// interaction indices are absolute (counted from the construction of
-    /// the simulation) and the run stops early once the predicate has held
-    /// for `opts.confirm_window` consecutive interactions.
+    /// [`StabilizationResult::stabilized_at`] is an **absolute** interaction
+    /// index (counted from the construction of the simulation, so a
+    /// warm-started measurement includes the interactions executed before
+    /// this call), while [`StabilizationResult::interactions`] is relative —
+    /// the number executed by this call alone. The run stops early once the
+    /// predicate has held for `opts.confirm_window` consecutive interactions.
     ///
     /// `opts.check_every` is ignored: silent interactions cannot change the
     /// predicate, so checking after every state change is both exact and
@@ -355,6 +773,7 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
 mod tests {
     use super::*;
     use crate::epidemic::{OneWayEpidemic, TwoWayEpidemic};
+    use crate::protocol::{AgentId, Protocol};
 
     #[test]
     fn batched_epidemic_reaches_everyone() {
@@ -443,5 +862,104 @@ mod tests {
         let p = OneWayEpidemic::new(8, 1);
         let counts = CountConfiguration::from_counts(vec![4, 3, 1]);
         let _ = BatchSimulation::new(p, counts, 0);
+    }
+
+    /// `k`-state cyclic drift: the initiator advances one step modulo `k`.
+    /// Every ordered pair is non-silent and deterministic, so the occupied
+    /// set churns and exercises slot creation, death, and weight refresh.
+    struct Drift {
+        n: usize,
+        k: usize,
+    }
+
+    impl Protocol for Drift {
+        type State = usize;
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn interact(&self, u: &mut usize, _v: &mut usize, _ctx: &mut InteractionCtx<'_>) {
+            *u = (*u + 1) % self.k;
+        }
+    }
+
+    impl CleanInit for Drift {
+        fn clean_state(&self, agent: AgentId) -> usize {
+            // Lumpy start: states 0 and 1 only, so most of the space starts
+            // unoccupied and gets discovered by drifting.
+            agent.index() % 2
+        }
+    }
+
+    impl EnumerableProtocol for Drift {
+        fn num_states(&self) -> usize {
+            self.k
+        }
+        fn encode(&self, state: &usize) -> usize {
+            *state
+        }
+        fn decode(&self, index: usize) -> usize {
+            index
+        }
+    }
+
+    #[test]
+    fn sparse_pair_index_stays_consistent_under_churn() {
+        let p = Drift { n: 24, k: 7 };
+        let mut sim = BatchSimulation::clean(p, 9);
+        for _ in 0..500 {
+            sim.run(1);
+            sim.pairs.assert_consistent(&sim.protocol, &sim.counts);
+        }
+        assert_eq!(sim.counts().counts().iter().sum::<u64>(), 24);
+    }
+
+    #[test]
+    fn pair_index_compaction_preserves_weights() {
+        let p = Drift { n: 24, k: 7 };
+        let mut sim = BatchSimulation::clean(p, 3);
+        sim.run(2_000);
+        let total = sim.pairs.total_weight();
+        sim.pairs.compact();
+        assert_eq!(sim.pairs.total_weight(), total);
+        sim.pairs.assert_consistent(&sim.protocol, &sim.counts);
+        sim.run(50);
+        sim.pairs.assert_consistent(&sim.protocol, &sim.counts);
+    }
+
+    #[test]
+    fn fenwick_prefix_search_matches_linear_scan() {
+        let weights = [3u64, 0, 5, 1, 0, 7, 2];
+        let mut tree = Fenwick::default();
+        for &w in &weights {
+            tree.push(w);
+        }
+        let total: u64 = weights.iter().sum();
+        for threshold in 0..total {
+            let mut acc = 0u64;
+            let expected = weights
+                .iter()
+                .position(|&w| {
+                    acc += w;
+                    threshold < acc
+                })
+                .unwrap();
+            assert_eq!(tree.search(threshold), expected, "threshold {threshold}");
+        }
+        // Updates (including to and from zero) keep the search exact.
+        tree.update(2, 5, 0);
+        tree.update(1, 0, 4);
+        let weights = [3u64, 4, 0, 1, 0, 7, 2];
+        let total: u64 = weights.iter().sum();
+        for threshold in 0..total {
+            let mut acc = 0u64;
+            let expected = weights
+                .iter()
+                .position(|&w| {
+                    acc += w;
+                    threshold < acc
+                })
+                .unwrap();
+            assert_eq!(tree.search(threshold), expected, "threshold {threshold}");
+        }
     }
 }

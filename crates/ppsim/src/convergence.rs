@@ -63,10 +63,15 @@ impl StabilizationDetector {
 /// The result of a stabilization measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct StabilizationResult {
-    /// Interactions executed in total.
+    /// Interactions executed **by the measuring call** (a relative count,
+    /// like [`crate::RunOutcome::interactions`]).
     pub interactions: u64,
-    /// The interaction index at which the output predicate became true and
-    /// stayed true until the end of the run, if it did.
+    /// The **absolute** interaction index — counted from the construction of
+    /// the simulation, including interactions executed before the measuring
+    /// call — at which the output predicate became true and stayed true
+    /// until the end of the run, if it did. Both engines
+    /// ([`crate::Simulation`] and [`crate::BatchSimulation`]) follow this
+    /// convention, so warm-started measurements are comparable across them.
     pub stabilized_at: Option<u64>,
     /// Population size, for converting to parallel time.
     pub n: usize,

@@ -41,23 +41,34 @@ impl CountConfiguration {
     /// Builds the count view of a per-agent configuration under the
     /// protocol's state enumeration.
     ///
+    /// Encoding happens *before* the count vector is sized, so this also
+    /// works for dynamically indexed protocols
+    /// ([`crate::indexer::DiscoveredProtocol`]) whose `num_states` grows as
+    /// the configuration's states are interned.
+    ///
     /// # Panics
     ///
-    /// Panics if any state encodes outside `0..num_states()`.
+    /// Panics if any state encodes outside `0..num_states()` (evaluated after
+    /// all states have been encoded).
     pub fn from_configuration<P: EnumerableProtocol>(
         protocol: &P,
         config: &Configuration<P::State>,
     ) -> Self {
-        let mut counts = vec![0u64; protocol.num_states()];
+        let mut counts = Vec::new();
         for state in config.iter() {
             let index = protocol.encode(state);
-            assert!(
-                index < counts.len(),
-                "state encodes to {index}, outside 0..{}",
-                counts.len()
-            );
+            if index >= counts.len() {
+                counts.resize(index + 1, 0u64);
+            }
             counts[index] += 1;
         }
+        let q = protocol.num_states();
+        assert!(
+            counts.len() <= q,
+            "a state encodes to {}, outside 0..{q}",
+            counts.len() - 1
+        );
+        counts.resize(q, 0);
         CountConfiguration {
             counts,
             population: config.len() as u64,
@@ -124,6 +135,17 @@ impl CountConfiguration {
     /// The number of agents currently in state `index`.
     pub fn count(&self, index: usize) -> u64 {
         self.counts[index]
+    }
+
+    /// Grows the tracked state space to `num_states`; new states start empty.
+    ///
+    /// Used by the batched engine when a dynamically indexed protocol
+    /// ([`crate::indexer::DiscoveredProtocol`]) discovers new states mid-run.
+    /// Shrinking is not supported — a smaller `num_states` is a no-op.
+    pub fn ensure_num_states(&mut self, num_states: usize) {
+        if num_states > self.counts.len() {
+            self.counts.resize(num_states, 0);
+        }
     }
 
     /// The per-state counts as a slice, indexed by state index.
@@ -291,6 +313,16 @@ mod tests {
     #[should_panic(expected = "at least one agent")]
     fn empty_population_rejected() {
         let _ = CountConfiguration::from_counts(vec![0, 0]);
+    }
+
+    #[test]
+    fn ensure_num_states_grows_with_empty_states() {
+        let mut counts = CountConfiguration::from_counts(vec![4, 6]);
+        counts.ensure_num_states(5);
+        assert_eq!(counts.counts(), &[4, 6, 0, 0, 0]);
+        assert_eq!(counts.population(), 10);
+        counts.ensure_num_states(2);
+        assert_eq!(counts.num_states(), 5, "shrinking is a no-op");
     }
 
     #[test]

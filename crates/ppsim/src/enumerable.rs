@@ -70,6 +70,40 @@ pub trait EnumerableProtocol: Protocol {
         let _ = (initiator, responder);
         false
     }
+
+    /// The outcome distribution of the transition on the ordered index pair,
+    /// as `((initiator', responder'), probability)` entries — or the empty
+    /// vector when the distribution cannot (or should not) be enumerated.
+    ///
+    /// # Contract
+    ///
+    /// * A **non-empty** return value must be *exhaustive*: the entries list
+    ///   every outcome the transition can produce on `(u, v)`, with strictly
+    ///   positive probabilities summing to 1. The batched engine then samples
+    ///   the outcome from this distribution directly, without consulting
+    ///   [`Protocol::interact`].
+    /// * An **empty** return value means "unknown": the engine falls back to
+    ///   sampling the outcome blind via
+    ///   [`transition_indices`](EnumerableProtocol::transition_indices).
+    /// * A silent pair exposes itself as `support = {(u, v)}` with weight 1 —
+    ///   one entry mapping the pair to itself.
+    /// * The distribution must depend only on the two states (never on
+    ///   [`InteractionCtx::interaction`]), matching the population-protocol
+    ///   model.
+    ///
+    /// The default derives the support from [`is_silent`]: silent pairs map
+    /// to themselves with certainty, everything else is unknown. Protocols
+    /// with *randomized* transitions of small support (coin flips) should
+    /// override this so the engine can sample outcomes exactly instead of
+    /// blind; [`crate::indexer::DiscoveredProtocol`] overrides it with the
+    /// state-level enumeration of [`crate::indexer::SupportEnumerable`].
+    fn transition_support(&self, initiator: usize, responder: usize) -> Vec<((usize, usize), f64)> {
+        if self.is_silent(initiator, responder) {
+            vec![((initiator, responder), 1.0)]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +164,16 @@ mod tests {
         for index in 0..p.num_states() {
             assert_eq!(p.encode(&p.decode(index)), index);
         }
+    }
+
+    #[test]
+    fn default_transition_support_reflects_silence() {
+        let p = Parity(4);
+        assert_eq!(p.transition_support(0, 0), vec![((0, 0), 1.0)]);
+        assert!(
+            p.transition_support(1, 0).is_empty(),
+            "non-silent pairs default to an unknown (blind-sampled) support"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::batched::BatchSimulation;
 use crate::configuration::Configuration;
 use crate::enumerable::EnumerableProtocol;
+use crate::indexer::SupportEnumerable;
 use crate::protocol::{AgentId, CleanInit, InteractionCtx, Protocol};
 use crate::simulation::Simulation;
 
@@ -81,6 +82,15 @@ impl EnumerableProtocol for OneWayEpidemic {
     }
 }
 
+/// State-level silence, so the epidemic can also run under the dynamic
+/// indexer ([`crate::indexer::DiscoveredProtocol`]) — useful as a reference
+/// point when benchmarking the discovered against the enumerated engine.
+impl SupportEnumerable for OneWayEpidemic {
+    fn silent_pair(&self, initiator: &bool, responder: &bool) -> bool {
+        !*initiator || *responder
+    }
+}
+
 /// Two-way epidemic: if either interacting agent is informed, both become
 /// informed.
 #[derive(Debug, Clone, Copy)]
@@ -135,6 +145,14 @@ impl EnumerableProtocol for TwoWayEpidemic {
     }
     fn is_silent(&self, initiator: usize, responder: usize) -> bool {
         // Mixed pairs (in either order) inform the uninformed side.
+        initiator == responder
+    }
+}
+
+/// State-level silence for the dynamic indexer, mirroring
+/// [`EnumerableProtocol::is_silent`].
+impl SupportEnumerable for TwoWayEpidemic {
+    fn silent_pair(&self, initiator: &bool, responder: &bool) -> bool {
         initiator == responder
     }
 }

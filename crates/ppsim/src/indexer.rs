@@ -1,0 +1,554 @@
+//! Dynamic state indexing: running the batched engine on protocols whose
+//! state space is too large (or too awkward) to enumerate up front.
+//!
+//! [`crate::BatchSimulation`] needs a bijection between the protocol's state
+//! space and `0..|Q|` ([`EnumerableProtocol`]). For the paper's epidemics and
+//! the baseline protocols that bijection is a closed-form formula, but for
+//! `ElectLeader_r` the reachable state space is huge, `n`-dependent, and only
+//! *sparsely* occupied: at any moment a population of `n` agents occupies at
+//! most `n` states, discovered one transition at a time. Enumerating all of
+//! `Q` — let alone all `|Q|²` ordered pairs — is neither possible nor needed.
+//!
+//! [`DiscoveredProtocol`] solves this the way the `ppsim` simulator of Doty
+//! et al. scales protocols with unbounded state spaces: states are assigned
+//! indices **lazily, as they are first reached**. The adapter wraps any
+//! protocol whose states are `Hash + Eq + Clone` and implements
+//! [`EnumerableProtocol`] over the growing index space; the batched engine
+//! tracks the growth (`num_states` is monotone over a run) and never touches
+//! pairs of states that are not currently occupied.
+//!
+//! Two protocol-level questions remain — "is this pair silent?" and "what is
+//! the outcome distribution?" — and the wrapped protocol answers them through
+//! [`SupportEnumerable`]:
+//!
+//! * [`SupportEnumerable::silent_pair`] is the state-level silence test
+//!   (exactly the [`EnumerableProtocol::is_silent`] contract);
+//! * [`SupportEnumerable::pair_support`] enumerates the transition's outcome
+//!   distribution where practical, and returns `None` where it is not
+//!   (e.g. a transition drawing an identifier from `[n³]`), in which case the
+//!   engine samples the outcome blind through [`Protocol::interact`].
+//!
+//! For transitions that consume no randomness the support is a single
+//! outcome, and [`deterministic_support`] computes it generically by probing
+//! [`Protocol::interact`] with a draw-counting RNG.
+
+use crate::enumerable::EnumerableProtocol;
+use crate::protocol::{InteractionCtx, Protocol};
+use rand::RngCore;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::rc::Rc;
+
+/// An enumerated outcome distribution on state pairs: every entry maps an
+/// ordered `(initiator, responder)` outcome to its probability.
+pub type StateSupport<S> = Vec<((S, S), f64)>;
+
+/// State-level transition inspection, the protocol-side requirement of
+/// [`DiscoveredProtocol`].
+///
+/// Both methods must be *functions of the two states only* — they may not
+/// depend on the interaction index or on external state. `silent_pair` may
+/// only return `true` when the transition maps the ordered pair to itself
+/// with certainty (the [`EnumerableProtocol::is_silent`] contract);
+/// `pair_support`, when it returns `Some`, must list every outcome the
+/// transition can produce with strictly positive probabilities summing to 1.
+pub trait SupportEnumerable: Protocol {
+    /// Whether the ordered state pair is a certain no-op.
+    ///
+    /// The conservative default claims nothing is silent — always safe, but
+    /// it removes the batching advantage; override it with the protocol's
+    /// actual null transitions.
+    fn silent_pair(&self, initiator: &Self::State, responder: &Self::State) -> bool {
+        let _ = (initiator, responder);
+        false
+    }
+
+    /// The exhaustive outcome distribution of the transition on the ordered
+    /// pair, or `None` when enumeration is impractical (the engine then
+    /// samples the outcome blind via [`Protocol::interact`]).
+    ///
+    /// The default enumerates what it can without protocol knowledge: silent
+    /// pairs map to themselves, and deterministic transitions (detected by
+    /// probing [`Protocol::interact`] with a draw-counting RNG, see
+    /// [`deterministic_support`]) have a single outcome.
+    fn pair_support(
+        &self,
+        initiator: &Self::State,
+        responder: &Self::State,
+    ) -> Option<StateSupport<Self::State>> {
+        if self.silent_pair(initiator, responder) {
+            return Some(vec![((initiator.clone(), responder.clone()), 1.0)]);
+        }
+        deterministic_support(self, initiator, responder)
+    }
+}
+
+/// An RNG wrapper that counts how many draws the wrapped generator served.
+///
+/// Used to *probe* a transition: if `interact` completes without drawing, its
+/// outcome is deterministic and can be cached / enumerated; if it drew, the
+/// probe outcome is discarded and the transition is treated as randomized.
+struct CountingRng {
+    /// SplitMix64 state — cheap, deterministic dummy randomness. The values
+    /// only matter on probes that end up discarded.
+    state: u64,
+    draws: u64,
+}
+
+impl CountingRng {
+    fn new() -> Self {
+        CountingRng {
+            state: 0x9E37_79B9_7F4A_7C15,
+            draws: 0,
+        }
+    }
+}
+
+impl RngCore for CountingRng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Probes `interact` on clones of the pair: `Some` single-outcome support if
+/// the transition consumed no randomness, `None` if it drew (the probe
+/// outcome is discarded — it was produced from dummy randomness).
+///
+/// The probe executes one transition, so it costs as much as the transition
+/// itself; callers on a hot path should reach for it only when they are about
+/// to execute the pair anyway (as the batched engine does).
+pub fn deterministic_support<P: Protocol + ?Sized>(
+    protocol: &P,
+    initiator: &P::State,
+    responder: &P::State,
+) -> Option<StateSupport<P::State>> {
+    let mut u = initiator.clone();
+    let mut v = responder.clone();
+    let mut probe = CountingRng::new();
+    let draws = {
+        let mut ctx = InteractionCtx::new(&mut probe, 0);
+        protocol.interact(&mut u, &mut v, &mut ctx);
+        probe.draws
+    };
+    if draws == 0 {
+        Some(vec![((u, v), 1.0)])
+    } else {
+        None
+    }
+}
+
+/// The growing state ↔ index bijection.
+struct Interner<S> {
+    states: Vec<S>,
+    index_of: HashMap<S, usize>,
+}
+
+impl<S: Hash + Eq + Clone> Interner<S> {
+    fn new() -> Self {
+        Interner {
+            states: Vec::new(),
+            index_of: HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, state: &S) -> usize {
+        if let Some(&index) = self.index_of.get(state) {
+            return index;
+        }
+        let index = self.states.len();
+        self.states.push(state.clone());
+        self.index_of.insert(state.clone(), index);
+        index
+    }
+}
+
+/// Adapter implementing [`EnumerableProtocol`] for any [`SupportEnumerable`]
+/// protocol with hashable states, assigning indices lazily as states are
+/// first reached.
+///
+/// Indices are assigned in discovery order and never change; `num_states()`
+/// is therefore *monotone over a run* — it reports how many states have been
+/// discovered so far, not the size of the full reachable space. The batched
+/// engine re-reads it after every transition and grows its count vector
+/// accordingly.
+///
+/// Cloning the adapter is cheap and shares the underlying protocol and
+/// index map (via `Rc`), so a stabilization predicate can hold its own handle
+/// for decoding while the engine owns the adapter. The shared interior makes
+/// the adapter single-threaded (`!Send`); run one adapter per thread.
+///
+/// # Examples
+///
+/// ```
+/// use ppsim::epidemic::OneWayEpidemic;
+/// use ppsim::indexer::DiscoveredProtocol;
+/// use ppsim::{BatchSimulation, CountConfiguration};
+///
+/// // Epidemics implement `SupportEnumerable` (silence on the state level),
+/// // so they can run under the adapter — no up-front enumeration involved.
+/// // Indices follow discovery order, so predicates peek at the states
+/// // through a shared handle instead of hard-coding indices.
+/// let discovered = DiscoveredProtocol::new(OneWayEpidemic::new(256, 1));
+/// let handle = discovered.clone();
+/// let mut sim = BatchSimulation::clean(discovered, 7);
+/// let everyone_informed = |c: &CountConfiguration| {
+///     (0..c.num_states()).all(|i| c.count(i) == 0 || handle.peek(i, |s| *s))
+/// };
+/// let out = sim.run_until(everyone_informed, u64::MAX);
+/// assert!(out.satisfied);
+/// ```
+pub struct DiscoveredProtocol<P: SupportEnumerable>
+where
+    P::State: Hash + Eq,
+{
+    inner: Rc<P>,
+    interner: Rc<RefCell<Interner<P::State>>>,
+}
+
+impl<P: SupportEnumerable> Clone for DiscoveredProtocol<P>
+where
+    P::State: Hash + Eq,
+{
+    fn clone(&self) -> Self {
+        DiscoveredProtocol {
+            inner: Rc::clone(&self.inner),
+            interner: Rc::clone(&self.interner),
+        }
+    }
+}
+
+impl<P: SupportEnumerable> fmt::Debug for DiscoveredProtocol<P>
+where
+    P::State: Hash + Eq,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiscoveredProtocol")
+            .field("discovered_states", &self.num_states())
+            .finish()
+    }
+}
+
+impl<P: SupportEnumerable> DiscoveredProtocol<P>
+where
+    P::State: Hash + Eq,
+{
+    /// Wraps a protocol; no states are discovered yet.
+    pub fn new(inner: P) -> Self {
+        DiscoveredProtocol {
+            inner: Rc::new(inner),
+            interner: Rc::new(RefCell::new(Interner::new())),
+        }
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Applies `f` to the state at `index` without cloning it.
+    ///
+    /// This is the cheap way for stabilization predicates to inspect occupied
+    /// states ([`EnumerableProtocol::decode`] must clone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has not been discovered.
+    pub fn peek<R>(&self, index: usize, f: impl FnOnce(&P::State) -> R) -> R {
+        f(&self.interner.borrow().states[index])
+    }
+}
+
+impl<P: SupportEnumerable + crate::protocol::CleanInit> crate::protocol::CleanInit
+    for DiscoveredProtocol<P>
+where
+    P::State: Hash + Eq,
+{
+    fn clean_state(&self, agent: crate::protocol::AgentId) -> Self::State {
+        self.inner.clean_state(agent)
+    }
+}
+
+impl<P: SupportEnumerable> Protocol for DiscoveredProtocol<P>
+where
+    P::State: Hash + Eq,
+{
+    type State = P::State;
+
+    fn population_size(&self) -> usize {
+        self.inner.population_size()
+    }
+
+    fn interact(
+        &self,
+        initiator: &mut Self::State,
+        responder: &mut Self::State,
+        ctx: &mut InteractionCtx<'_>,
+    ) {
+        self.inner.interact(initiator, responder, ctx);
+    }
+}
+
+impl<P: SupportEnumerable> EnumerableProtocol for DiscoveredProtocol<P>
+where
+    P::State: Hash + Eq,
+{
+    /// The number of states discovered *so far* (monotone over a run).
+    fn num_states(&self) -> usize {
+        self.interner.borrow().states.len()
+    }
+
+    /// Interns the state, assigning the next free index on first sight.
+    fn encode(&self, state: &Self::State) -> usize {
+        self.interner.borrow_mut().intern(state)
+    }
+
+    fn decode(&self, index: usize) -> Self::State {
+        self.interner.borrow().states[index].clone()
+    }
+
+    fn is_silent(&self, initiator: usize, responder: usize) -> bool {
+        let interner = self.interner.borrow();
+        self.inner
+            .silent_pair(&interner.states[initiator], &interner.states[responder])
+    }
+
+    fn transition_indices(
+        &self,
+        initiator: usize,
+        responder: usize,
+        ctx: &mut InteractionCtx<'_>,
+    ) -> (usize, usize) {
+        // Clone the endpoint states out before interacting so the interner is
+        // free to be re-borrowed for encoding the (possibly new) outcomes.
+        let (mut u, mut v) = {
+            let interner = self.interner.borrow();
+            (
+                interner.states[initiator].clone(),
+                interner.states[responder].clone(),
+            )
+        };
+        self.inner.interact(&mut u, &mut v, ctx);
+        let mut interner = self.interner.borrow_mut();
+        (interner.intern(&u), interner.intern(&v))
+    }
+
+    fn transition_support(&self, initiator: usize, responder: usize) -> Vec<((usize, usize), f64)> {
+        // Hold the immutable borrow only across the (reference-taking)
+        // support call — the wrapped protocol cannot touch the interner —
+        // then re-borrow mutably to intern the owned outcome states. This
+        // avoids deep-cloning the endpoint states on every fired transition.
+        let support = {
+            let interner = self.interner.borrow();
+            self.inner
+                .pair_support(&interner.states[initiator], &interner.states[responder])
+        };
+        match support {
+            Some(support) => {
+                let mut interner = self.interner.borrow_mut();
+                support
+                    .into_iter()
+                    .map(|((a, b), p)| ((interner.intern(&a), interner.intern(&b)), p))
+                    .collect()
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{AgentId, CleanInit};
+    use crate::{BatchSimulation, Configuration, SimRng};
+
+    /// One-way epidemic on `bool` states, with state-level silence.
+    struct Spread(usize);
+
+    impl Protocol for Spread {
+        type State = bool;
+        fn population_size(&self) -> usize {
+            self.0
+        }
+        fn interact(&self, u: &mut bool, v: &mut bool, _ctx: &mut InteractionCtx<'_>) {
+            if *u {
+                *v = true;
+            }
+        }
+    }
+
+    impl CleanInit for Spread {
+        fn clean_state(&self, agent: AgentId) -> bool {
+            agent.index() == 0
+        }
+    }
+
+    impl SupportEnumerable for Spread {
+        fn silent_pair(&self, u: &bool, v: &bool) -> bool {
+            !*u || *v
+        }
+    }
+
+    /// A lazy coin: an excited initiator either calms down or excites the
+    /// responder, each with probability 1/2 — a genuinely randomized
+    /// transition with a small, enumerable support.
+    struct LazyCoin(usize);
+
+    impl Protocol for LazyCoin {
+        type State = bool;
+        fn population_size(&self) -> usize {
+            self.0
+        }
+        fn interact(&self, u: &mut bool, v: &mut bool, ctx: &mut InteractionCtx<'_>) {
+            if *u && !*v {
+                if ctx.sample_bool() {
+                    *v = true;
+                } else {
+                    *u = false;
+                }
+            }
+        }
+    }
+
+    impl SupportEnumerable for LazyCoin {
+        fn silent_pair(&self, u: &bool, v: &bool) -> bool {
+            !*u || *v
+        }
+        fn pair_support(&self, u: &bool, v: &bool) -> Option<Vec<((bool, bool), f64)>> {
+            if self.silent_pair(u, v) {
+                Some(vec![((*u, *v), 1.0)])
+            } else {
+                Some(vec![((true, true), 0.5), ((false, false), 0.5)])
+            }
+        }
+    }
+
+    #[test]
+    fn indices_are_assigned_in_discovery_order() {
+        let p = DiscoveredProtocol::new(Spread(4));
+        assert_eq!(p.num_states(), 0);
+        assert_eq!(p.encode(&true), 0);
+        assert_eq!(p.encode(&false), 1);
+        assert_eq!(p.encode(&true), 0, "interning is idempotent");
+        assert_eq!(p.num_states(), 2);
+        assert!(p.decode(0));
+        assert!(!p.decode(1));
+        p.peek(1, |s| assert!(!*s));
+    }
+
+    #[test]
+    fn clones_share_the_index_map() {
+        let p = DiscoveredProtocol::new(Spread(4));
+        let q = p.clone();
+        assert_eq!(p.encode(&false), 0);
+        assert_eq!(q.num_states(), 1, "discoveries are visible through clones");
+        assert_eq!(q.encode(&false), 0);
+    }
+
+    #[test]
+    fn silence_and_support_delegate_to_state_level_answers() {
+        let p = DiscoveredProtocol::new(Spread(4));
+        let informed = p.encode(&true);
+        let susceptible = p.encode(&false);
+        assert!(p.is_silent(susceptible, informed));
+        assert!(!p.is_silent(informed, susceptible));
+        // The non-silent pair is deterministic, so the default
+        // `pair_support` enumerates its single outcome by probing.
+        assert_eq!(
+            p.transition_support(informed, susceptible),
+            vec![((informed, informed), 1.0)]
+        );
+        assert_eq!(
+            p.transition_support(susceptible, informed),
+            vec![((susceptible, informed), 1.0)]
+        );
+    }
+
+    #[test]
+    fn randomized_supports_are_interned_with_their_weights() {
+        let p = DiscoveredProtocol::new(LazyCoin(4));
+        let excited = p.encode(&true);
+        let calm = p.encode(&false);
+        let support = p.transition_support(excited, calm);
+        assert_eq!(
+            support,
+            vec![((excited, excited), 0.5), ((calm, calm), 0.5)]
+        );
+    }
+
+    #[test]
+    fn deterministic_support_rejects_randomized_transitions() {
+        let coin = LazyCoin(4);
+        assert!(deterministic_support(&coin, &true, &false).is_none());
+        assert_eq!(
+            deterministic_support(&coin, &false, &true),
+            Some(vec![((false, true), 1.0)])
+        );
+    }
+
+    #[test]
+    fn transition_indices_discovers_new_states() {
+        let p = DiscoveredProtocol::new(Spread(4));
+        let informed = p.encode(&true);
+        let susceptible = p.encode(&false);
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut ctx = InteractionCtx::new(&mut rng, 0);
+        assert_eq!(
+            p.transition_indices(informed, susceptible, &mut ctx),
+            (informed, informed)
+        );
+        assert_eq!(p.num_states(), 2);
+    }
+
+    #[test]
+    fn discovered_epidemic_completes_under_the_batched_engine() {
+        let p = DiscoveredProtocol::new(Spread(128));
+        let mut sim = BatchSimulation::clean(p, 11);
+        let out = sim.run_until(|c| c.count(0) == c.population(), u64::MAX);
+        assert!(out.satisfied);
+        // Exactly n - 1 informing interactions, as for the enumerated engine.
+        assert_eq!(sim.active_interactions(), 127);
+    }
+
+    #[test]
+    fn discovered_randomized_protocol_drains_excitement() {
+        // From all-excited, every non-silent interaction either spreads or
+        // calms; eventually everyone is excited or calmed in a way that can
+        // stall. Just check the engine runs it without blind sampling issues.
+        let p = DiscoveredProtocol::new(LazyCoin(64));
+        let config = Configuration::uniform(64, true);
+        let mut sim = BatchSimulation::from_configuration(p, &config, 3);
+        // All-true is fully silent: every pair maps to itself.
+        let active = sim.run(10_000);
+        assert_eq!(active, 0);
+    }
+
+    #[test]
+    fn counting_rng_counts_draws() {
+        let mut rng = CountingRng::new();
+        let _ = rng.next_u64();
+        let _ = rng.next_u32();
+        let mut buf = [0u8; 12];
+        rng.fill_bytes(&mut buf);
+        assert_eq!(rng.draws, 4, "12 bytes need two u64 draws");
+    }
+}

@@ -21,6 +21,10 @@
 //!   an enumerable state space ([`EnumerableProtocol`],
 //!   [`CountConfiguration`]): silent interaction runs are sampled
 //!   geometrically instead of executed, making `n ≥ 10⁶` populations cheap,
+//! * [`indexer`] — dynamic state indexing ([`DiscoveredProtocol`],
+//!   [`SupportEnumerable`]): runs the batched engine on protocols whose
+//!   state space is too large to enumerate, assigning indices lazily as
+//!   states are first reached,
 //! * [`adversary`] — combinators for arbitrary (adversarial) initial
 //!   configurations, as required for *self-stabilization* experiments,
 //! * [`epidemic`] — one-way/two-way epidemic protocols and measurement helpers
@@ -76,6 +80,7 @@ pub mod count_config;
 pub mod enumerable;
 pub mod epidemic;
 pub mod error;
+pub mod indexer;
 pub mod metrics;
 pub mod protocol;
 pub mod rng;
@@ -91,6 +96,7 @@ pub use convergence::{StabilizationDetector, StabilizationResult};
 pub use count_config::CountConfiguration;
 pub use enumerable::EnumerableProtocol;
 pub use error::SimError;
+pub use indexer::{DiscoveredProtocol, SupportEnumerable};
 pub use metrics::InteractionMetrics;
 pub use protocol::{AgentId, CleanInit, InteractionCtx, LeaderOutput, Protocol, RankingOutput};
 pub use rng::SimRng;

@@ -20,10 +20,15 @@ use crate::rng::SimRng;
 use crate::scheduler::{OrderedPair, Scheduler, UniformScheduler};
 use serde::Serialize;
 
-/// Outcome of [`Simulation::run_until`].
+/// Outcome of [`Simulation::run_until`] (and of
+/// [`crate::BatchSimulation::run_until`], which shares the convention).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct RunOutcome {
-    /// Number of interactions executed by this call.
+    /// Number of interactions executed **by this call** — a relative count,
+    /// in contrast to the absolute
+    /// [`crate::StabilizationResult::stabilized_at`] index. Add the
+    /// simulation's interaction count from before the call to obtain
+    /// absolute indices.
     pub interactions: u64,
     /// Whether the stop predicate was satisfied (as opposed to the budget
     /// running out or the scheduler being exhausted).

@@ -107,6 +107,46 @@ pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
     (n * sxy - sx * sy) / (n * sxx - sx * sx)
 }
 
+/// Two-sample Kolmogorov–Smirnov statistic: the maximum distance between the
+/// empirical CDFs of the two samples.
+///
+/// Used by the cross-engine equivalence checks (batched vs per-step
+/// stabilization-time distributions): for samples of sizes `m` and `n` from
+/// the same distribution, the statistic exceeds
+/// `1.63 · sqrt((m + n) / (m n))` with probability below 1%.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains non-finite values.
+pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "need two non-empty samples");
+    assert!(
+        a.iter().chain(b).all(|v| v.is_finite()),
+        "samples must be finite"
+    );
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    a.sort_by(|x, y| x.total_cmp(y));
+    b.sort_by(|x, y| x.total_cmp(y));
+    let (mut i, mut j, mut d) = (0usize, 0usize, 0f64);
+    while i < a.len() && j < b.len() {
+        // Step past one distinct value on both sides at once, so tied
+        // observations (common for integer-valued hitting times) do not
+        // produce spurious transient gaps.
+        let x = if a[i] <= b[j] { a[i] } else { b[j] };
+        while i < a.len() && a[i] == x {
+            i += 1;
+        }
+        while j < b.len() && b[j] == x {
+            j += 1;
+        }
+        let fa = i as f64 / a.len() as f64;
+        let fb = j as f64 / b.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
 /// A fixed-width histogram over `[min, max)`.
 #[derive(Debug, Clone, Serialize)]
 pub struct Histogram {
@@ -215,6 +255,23 @@ mod tests {
             })
             .collect();
         assert!((log_log_slope(&points) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ks_distance_is_zero_for_identical_and_one_for_disjoint_samples() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_distance(&a, &a), 0.0);
+        let b = [10.0, 11.0, 12.0];
+        assert_eq!(ks_distance(&a, &b), 1.0);
+        // Interleaved samples of the same range stay small.
+        let c = [1.5, 2.5, 3.5];
+        assert!(ks_distance(&a, &c) <= 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn ks_distance_rejects_empty_samples() {
+        let _ = ks_distance(&[], &[1.0]);
     }
 
     #[test]

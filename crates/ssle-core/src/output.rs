@@ -6,8 +6,9 @@
 //! These predicates are used by the experiment harness as stabilization
 //! criteria and by the integration tests as correctness oracles.
 
+use crate::elect_leader::ElectLeader;
 use crate::state::AgentState;
-use ppsim::Configuration;
+use ppsim::{Configuration, CountConfiguration, DiscoveredProtocol};
 
 /// Number of agents currently marked as leader (verifiers with rank 1).
 pub fn leader_count(config: &Configuration<AgentState>) -> usize {
@@ -36,6 +37,36 @@ pub fn is_correct_output(config: &Configuration<AgentState>) -> bool {
     for state in config.iter() {
         match state.verified_rank() {
             Some(rank) if (rank as usize) <= n && rank >= 1 && !seen[rank as usize] => {
+                seen[rank as usize] = true;
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Count-space analogue of [`is_correct_output`], for batched runs under the
+/// dynamic state indexer: every occupied state is a verifier holding exactly
+/// one agent, and the committed ranks of the occupied states form a
+/// permutation of `[n]`.
+///
+/// (A count above one would mean two agents share their full state —
+/// including the committed rank — so it can never be part of a correct
+/// ranking.) States are inspected through [`DiscoveredProtocol::peek`], so
+/// the predicate costs `O(#occupied states)` per evaluation with no decoding
+/// clones.
+pub fn is_correct_output_counts(
+    protocol: &DiscoveredProtocol<ElectLeader>,
+    counts: &CountConfiguration,
+) -> bool {
+    let n = counts.population() as usize;
+    let mut seen = vec![false; n + 1];
+    for (index, count) in counts.occupied() {
+        let rank = protocol.peek(index, |state| state.verified_rank());
+        match rank {
+            Some(rank)
+                if count == 1 && rank >= 1 && (rank as usize) <= n && !seen[rank as usize] =>
+            {
                 seen[rank as usize] = true;
             }
             _ => return false,

@@ -13,7 +13,7 @@ use ppsim::InteractionCtx;
 use serde::{Deserialize, Serialize};
 
 /// The `FastLeaderElect` per-agent state (Fig. 4).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct LeaderElectionState {
     /// The identifier drawn on first activation (`None` until drawn).
     pub identifier: Option<u64>,

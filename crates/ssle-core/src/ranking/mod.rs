@@ -41,7 +41,7 @@ pub struct Label {
 }
 
 /// The type (phase) of an agent inside `AssignRanks_r`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RankPhase {
     /// Still taking part in the sheriff election.
     LeaderElection(LeaderElectionState),
@@ -79,7 +79,7 @@ pub enum RankPhase {
 }
 
 /// The full `AssignRanks_r` per-agent state (`qAR`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RankState {
     /// The agent's current phase.
     pub phase: RankPhase,
@@ -164,6 +164,23 @@ pub fn assign_ranks(
     }
 
     merge_channels(params, u, v);
+}
+
+/// Whether one [`assign_ranks`] interaction on this ordered pair will
+/// consume scheduler randomness.
+///
+/// The only randomized step of `AssignRanks_r` is the identifier draw of
+/// `FastLeaderElect` on an agent's first activation; every other
+/// sub-transition (deputization, labeling, channel merges, sleep, ranking)
+/// is deterministic, so their outcome support can be enumerated by probing
+/// the transition.
+pub fn assign_ranks_draws_randomness(u: &RankState, v: &RankState) -> bool {
+    match (&u.phase, &v.phase) {
+        (RankPhase::LeaderElection(a), RankPhase::LeaderElection(b)) => {
+            a.identifier.is_none() || b.identifier.is_none()
+        }
+        _ => false,
+    }
 }
 
 fn is_deputy_and_unlabeled(deputy: &RankState, other: &RankState) -> bool {

@@ -27,7 +27,7 @@ pub enum Role {
 }
 
 /// The `PropagateReset` fields of a resetting agent (Appendix C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ResetState {
     /// While positive the agent keeps infecting computing agents; decremented
     /// every interaction with another resetter.
@@ -65,7 +65,7 @@ impl ResetState {
 
 /// A ranking agent: the `AssignRanks_r` state plus the countdown that bounds
 /// how long the agent may remain a ranker.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RankingAgent {
     /// The `AssignRanks_r` sub-state (`qAR`).
     pub qar: RankState,
@@ -74,7 +74,7 @@ pub struct RankingAgent {
 }
 
 /// A verifying agent: its committed rank plus the `StableVerify_r` state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct VerifyingAgent {
     /// The rank the agent committed to when it became a verifier.
     pub rank: u32,
@@ -83,7 +83,7 @@ pub struct VerifyingAgent {
 }
 
 /// The complete per-agent state of `ElectLeader_r`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AgentState {
     /// Executing `PropagateReset`.
     Resetting(ResetState),

@@ -21,7 +21,7 @@ use ppsim::InteractionCtx;
 use serde::{Deserialize, Serialize};
 
 /// The non-error per-agent state of `DetectCollision_r` (Fig. 3).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CollisionState {
     /// The signature currently used as content for this agent's own messages,
     /// drawn (almost) uniformly from `[1, m⁵]`.
@@ -37,7 +37,7 @@ pub struct CollisionState {
 
 /// The per-agent state of `DetectCollision_r`: either the error state `⊤` or
 /// an active [`CollisionState`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DetectCollisionState {
     /// The error state `⊤`: a collision (or an inconsistent message system)
     /// was observed.

@@ -24,7 +24,7 @@ pub const INITIAL_CONTENT: u64 = 1;
 /// One circulating message held by an agent: its ID and current content.
 /// (The governor is implied by the position of the message inside the
 /// [`MessageStore`].)
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Message {
     /// The message ID, `1 ..= ids_per_rank`.
     pub id: u32,
@@ -34,7 +34,7 @@ pub struct Message {
 
 /// The sparse store of circulating messages held by one agent, organised per
 /// governing rank of the agent's group.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MessageStore {
     /// `per_governor[g]` holds the messages governed by the rank at in-group
     /// position `g`, sorted by ID.
@@ -174,7 +174,7 @@ impl MessageStore {
 
 /// The dense `observations` array of an agent: `observations[id - 1]` is the
 /// content the agent last wrote into its own message with that ID.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Observations {
     values: Vec<u64>,
 }

@@ -40,7 +40,7 @@ pub const GENERATIONS: u8 = 6;
 
 /// The per-agent state of `StableVerify_r` (Fig. 2): the wrapper fields plus
 /// the `DetectCollision_r` state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct VerifyState {
     /// The soft-reset generation, an element of `Z_6`.
     pub generation: u8,
@@ -131,6 +131,72 @@ pub fn stable_verify(
 
     // Line 13: generations differ but no soft reset is permissible.
     (VerifyVerdict::TriggerReset, VerifyVerdict::Continue)
+}
+
+/// Whether a `StableVerify_r` interaction between the two verifier states is
+/// a certain no-op: both probation timers already exhausted, same
+/// generation, neither in the error state, and ranks in different groups —
+/// then the probation decrements are saturated no-ops, `DetectCollision_r`
+/// bails on its cross-group check (Protocol 3, lines 1–2), and no verdict
+/// can fire.
+///
+/// These are exactly the pairs that dominate a *stabilized* configuration
+/// (all verifiers, distinct ranks, timers run out), which is what lets the
+/// batched engine skip them in bulk. Ranks outside `[1, n]` (possible only
+/// in corrupted configurations) are conservatively reported non-silent.
+pub fn stable_verify_is_silent(
+    partition: &GroupPartition,
+    u_rank: u32,
+    u: &VerifyState,
+    v_rank: u32,
+    v: &VerifyState,
+) -> bool {
+    let n = partition.n() as u32;
+    if u_rank < 1 || u_rank > n || v_rank < 1 || v_rank > n {
+        return false;
+    }
+    u.probation_timer == 0
+        && v.probation_timer == 0
+        && u.generation == v.generation
+        && !u.dc.is_error()
+        && !v.dc.is_error()
+        && !partition.same_group(u_rank, v_rank)
+}
+
+/// Whether a `StableVerify_r` interaction between the two verifier states
+/// *may* consume scheduler randomness: only the signature refresh of
+/// `DetectCollision_r` (Protocol 13, line 3) draws, which requires a
+/// same-group, same-generation collision-detection step in which at least
+/// one counter is about to reach the signature period.
+///
+/// The answer is a conservative over-approximation — pairs whose
+/// error-detection checks would bail before the refresh are still reported
+/// as randomized (costing an exact-support fast path, never correctness).
+pub fn stable_verify_may_draw_randomness(
+    params: &Params,
+    partition: &GroupPartition,
+    u_rank: u32,
+    u: &VerifyState,
+    v_rank: u32,
+    v: &VerifyState,
+) -> bool {
+    if u.generation != v.generation {
+        return false;
+    }
+    let n = partition.n() as u32;
+    if u_rank < 1 || u_rank > n || v_rank < 1 || v_rank > n {
+        // Out-of-range ranks only arise from corrupted configurations; stay
+        // conservative rather than guessing the group structure.
+        return true;
+    }
+    if !partition.same_group(u_rank, v_rank) {
+        return false;
+    }
+    let period = params.signature_period(partition.group_size_of(u_rank));
+    [u, v].iter().any(|s| {
+        s.dc.active()
+            .is_some_and(|c| c.counter.saturating_add(1) >= period)
+    })
 }
 
 /// Lines 5–8 of Protocol 2: if the agent's collision-detection state is `⊤`,

@@ -6,13 +6,22 @@
 //! observables. The epidemic completion time is the sharpest such observable
 //! available in closed form (mean ≈ 2·n·ln n for the one-way epidemic), so
 //! the equivalence tests compare completion-time samples of both engines by
-//! mean, variance, and a two-sample Kolmogorov–Smirnov distance. All seeds
-//! are fixed, so these tests are deterministic — the tolerances carry wide
+//! mean, variance, and a two-sample Kolmogorov–Smirnov distance; the same
+//! statistics cover the enumerated baselines (direct-collision ranking,
+//! loosely-stabilizing leader election) and — via the dynamic state indexer
+//! (`ppsim::DiscoveredProtocol`) — `ElectLeader_r` itself. All seeds are
+//! fixed, so these tests are deterministic — the tolerances carry wide
 //! margins over the observed statistics rather than guarding against flake.
 
+use baselines::{DirectCollisionSsle, LooselyStabilizingLe};
 use ppsim::epidemic::{measure_epidemic_time, measure_epidemic_time_batched, OneWayEpidemic};
 use ppsim::rng::derive_seed;
-use ppsim::{BatchSimulation, CountConfiguration, Summary};
+use ppsim::simulation::StabilizationOptions;
+use ppsim::stats::ks_distance;
+use ppsim::{
+    BatchSimulation, Configuration, CountConfiguration, DiscoveredProtocol, Simulation, Summary,
+};
+use ssle_core::{output, ElectLeader};
 
 const N: usize = 512;
 const TRIALS: u64 = 48;
@@ -33,25 +42,24 @@ fn completion_samples(batched: bool) -> Vec<f64> {
         .collect()
 }
 
-/// Two-sample Kolmogorov–Smirnov statistic: the maximum distance between the
-/// empirical CDFs.
-fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
-    let mut a = a.to_vec();
-    let mut b = b.to_vec();
-    a.sort_by(|x, y| x.total_cmp(y));
-    b.sort_by(|x, y| x.total_cmp(y));
-    let (mut i, mut j, mut d) = (0usize, 0usize, 0f64);
-    while i < a.len() && j < b.len() {
-        if a[i] <= b[j] {
-            i += 1;
-        } else {
-            j += 1;
-        }
-        let fa = i as f64 / a.len() as f64;
-        let fb = j as f64 / b.len() as f64;
-        d = d.max((fa - fb).abs());
-    }
-    d
+/// Asserts that two hitting-time samples of the same distribution agree in
+/// mean (relative tolerance) and KS distance (absolute bound).
+fn assert_distributions_agree(
+    what: &str,
+    per_step: &[f64],
+    batched: &[f64],
+    mean_tolerance: f64,
+    ks_bound: f64,
+) {
+    let (s_ps, s_b) = (Summary::of(per_step), Summary::of(batched));
+    assert!(
+        (s_ps.mean - s_b.mean).abs() < mean_tolerance * s_ps.mean,
+        "{what}: means disagree — per-step {}, batched {}",
+        s_ps.mean,
+        s_b.mean
+    );
+    let d = ks_distance(per_step, batched);
+    assert!(d < ks_bound, "{what}: KS distance {d} exceeds {ks_bound}");
 }
 
 #[test]
@@ -87,6 +95,133 @@ fn engines_agree_on_the_completion_time_distribution() {
     // KS: the 1% critical value for two 48-sample ECDFs is ≈ 0.33.
     let d = ks_distance(&per_step, &batched);
     assert!(d < 0.33, "KS distance {d} exceeds the 1% critical value");
+}
+
+/// Same statistical-equivalence check for the direct-collision SSLE baseline
+/// (which got its `EnumerableProtocol` impl in PR 2 but no cross-engine
+/// distribution test): the observable is the time until the presumed ranks
+/// first form a permutation, starting from the worst-case all-rank-1
+/// configuration.
+#[test]
+fn engines_agree_on_direct_collision_permutation_times() {
+    let n = 24usize;
+    // The last-collision phase is heavy-tailed, so the mean needs more
+    // samples than the other observables to settle.
+    let trials = 48u64;
+    let sample = |batched: bool| -> Vec<f64> {
+        (0..trials)
+            .map(|trial| {
+                let seed = derive_seed(BASE_SEED ^ 0xD1, trial);
+                let protocol = DirectCollisionSsle::new(n);
+                let out = if batched {
+                    let mut sim = BatchSimulation::clean(protocol, seed);
+                    sim.run_until(|c| c.counts().iter().all(|&c| c == 1), u64::MAX)
+                } else {
+                    let mut sim = Simulation::new(protocol, Configuration::clean(&protocol), seed);
+                    sim.run_until(
+                        |c| {
+                            let mut seen = vec![false; n + 1];
+                            c.iter()
+                                .all(|&rank| !std::mem::replace(&mut seen[rank as usize], true))
+                        },
+                        u64::MAX,
+                    )
+                };
+                assert!(out.satisfied);
+                out.interactions as f64
+            })
+            .collect()
+    };
+    let (per_step, batched) = (sample(false), sample(true));
+    // 48 samples per engine: the KS 1% critical value is ≈ 0.33; the
+    // observed statistics (3.6% mean difference, KS 0.083) sit far inside.
+    assert_distributions_agree(
+        "direct-collision permutation time",
+        &per_step,
+        &batched,
+        0.20,
+        0.33,
+    );
+}
+
+/// Statistical equivalence for the loosely-stabilizing leader election
+/// baseline: the observable is the first interaction with a unique leader,
+/// starting from the leaderless clean configuration.
+#[test]
+fn engines_agree_on_loose_le_recovery_times() {
+    let n = 48usize;
+    let trials = 24u64;
+    let timer_max = 200u32;
+    let sample = |batched: bool| -> Vec<f64> {
+        (0..trials)
+            .map(|trial| {
+                let seed = derive_seed(BASE_SEED ^ 0x10, trial);
+                let protocol = LooselyStabilizingLe::with_timer_max(n, timer_max);
+                let out = if batched {
+                    let handle = protocol;
+                    let mut sim = BatchSimulation::clean(protocol, seed);
+                    sim.run_until(|c| c.count_where(&handle, |s| s.leader) == 1, u64::MAX)
+                } else {
+                    let mut sim = Simulation::new(protocol, Configuration::clean(&protocol), seed);
+                    sim.run_until(|c| c.count_where(|s| s.leader) == 1, u64::MAX)
+                };
+                assert!(out.satisfied);
+                out.interactions as f64
+            })
+            .collect()
+    };
+    let (per_step, batched) = (sample(false), sample(true));
+    assert_distributions_agree(
+        "loosely-stabilizing recovery time",
+        &per_step,
+        &batched,
+        0.35,
+        0.47,
+    );
+}
+
+/// The acceptance check of the dynamic state indexer: `ElectLeader_r` itself
+/// runs under `BatchSimulation` via `DiscoveredProtocol` — with no up-front
+/// `|Q|²` enumeration — and its stabilization-time distribution matches the
+/// per-step engine's.
+#[test]
+fn engines_agree_on_elect_leader_stabilization_times() {
+    let (n, r) = (12usize, 3usize);
+    let trials = 16u64;
+    let sample = |batched: bool| -> Vec<f64> {
+        (0..trials)
+            .map(|trial| {
+                let seed = derive_seed(BASE_SEED ^ 0xE1, trial);
+                let protocol = ElectLeader::with_n_r(n, r).expect("valid parameters");
+                let budget = protocol.params().suggested_budget();
+                let opts = StabilizationOptions::new(n, budget);
+                let result = if batched {
+                    let discovered = DiscoveredProtocol::new(protocol);
+                    let handle = discovered.clone();
+                    let mut sim = BatchSimulation::clean(discovered, seed);
+                    sim.measure_stabilization(
+                        |c| output::is_correct_output_counts(&handle, c),
+                        opts,
+                    )
+                } else {
+                    let config = Configuration::clean(&protocol);
+                    let mut sim = Simulation::new(protocol, config, seed);
+                    sim.measure_stabilization(output::is_correct_output, opts)
+                };
+                result.stabilized_at.expect("instance stabilizes") as f64
+            })
+            .collect()
+    };
+    let (per_step, batched) = (sample(false), sample(true));
+    // 16 samples per engine: KS 1% critical ≈ 0.58; stabilization times have
+    // a ~15% coefficient of variation, so a 25% mean tolerance is > 4σ.
+    assert_distributions_agree(
+        "ElectLeader_r stabilization time",
+        &per_step,
+        &batched,
+        0.25,
+        0.58,
+    );
 }
 
 #[test]
