@@ -1,70 +1,89 @@
-//! E11 — `ElectLeader_r` stabilization-time curves under the batched engine
-//! via the dynamic state indexer.
+//! E11 — `ElectLeader_r` stabilization-time curves under the count-based
+//! engines via the dynamic state indexer.
 //!
 //! The batched engine could not previously touch the paper's own protocol:
 //! `ElectLeader_r` has no hand-written state bijection, and its reachable
 //! state space is far too large for the `|Q|²` pair enumeration the engine
 //! used to perform. `ppsim::DiscoveredProtocol` removes both obstacles by
-//! interning states lazily, so this experiment finally produces the
-//! ROADMAP's *stabilization-time curves* for the main protocol: a sweep over
-//! `n` at the fast-regime ratio `r = max(1, n/4)`, with a least-squares
-//! log–log slope fit against the predicted shape
-//! `Θ(n²/r · log n) = Θ(n log n)`.
+//! interning states lazily, so this experiment produces the ROADMAP's
+//! *stabilization-time curves* for the main protocol along two axes:
 //!
-//! Every sweep point at or below [`Scale::discovered_per_step_n_cap`] is
-//! *cross-validated*: the same instances run under the per-step engine, and
-//! the table reports the relative mean difference and the two-sample
-//! Kolmogorov–Smirnov distance between the two engines' stabilization-time
-//! samples (the same statistics `tests/integration_batched.rs` enforces with
-//! tolerances).
+//! * a sweep over `n` at the fast-regime ratio `r = max(1, n/4)`, run under
+//!   the batched engine, the multi-batch collision sampler
+//!   ([`ppsim::MultiBatchSimulation`]), and — up to
+//!   [`Scale::discovered_per_step_n_cap`] — the per-step engine, with
+//!   least-squares log–log slope fits against the predicted shape
+//!   `Θ(n²/r · log n) = Θ(n log n)`;
+//! * a sweep over `r ∈ {1, ⌈ln n⌉, ⌈√n⌉, n/4}` at every `n`
+//!   ([`Scale::discovered_r_values`]), run under the multi-batch engine
+//!   (whose high-activity advantage is largest exactly in the slow `r = 1`
+//!   cells), charting the space–time trade-off *surface* with one log–log
+//!   slope fit per `r` rule (the predicted exponent falls from ≈ 2 at
+//!   constant `r` toward ≈ 1 as `r` grows with `n`).
+//!
+//! Every fast-regime cell at or below the per-step cap is *cross-validated*:
+//! the same instances run under the per-step engine, and the table reports
+//! the relative mean difference and the two-sample Kolmogorov–Smirnov
+//! distance between the engines' stabilization-time samples — for the
+//! batched *and* the multi-batch engine (the same statistics
+//! `tests/integration_batched.rs` enforces with tolerances).
 
 use crate::runner::{run_trials, TrialOutcome};
-use crate::scale::Scale;
+use crate::scale::{Engine, Scale};
 use crate::table::{fmt_f64, Table};
 use ppsim::rng::derive_seed;
 use ppsim::simulation::StabilizationOptions;
 use ppsim::stats::{ks_distance, log_log_slope};
-use ppsim::{BatchSimulation, Configuration, DiscoveredProtocol, Simulation};
+use ppsim::{BatchSimulation, Configuration, DiscoveredProtocol, MultiBatchSimulation, Simulation};
 use ssle_core::{output, ElectLeader};
 use std::time::Instant;
 
-/// The trade-off parameter used at every point of the sweep: the fast-regime
-/// ratio `n/4`, clamped into the theorem range `1 ≤ r ≤ n/2`.
+/// The trade-off parameter used by the fast-regime `n` sweep: the ratio
+/// `n/4`, clamped into the theorem range `1 ≤ r ≤ n/2`.
 pub fn sweep_r(n: usize) -> usize {
     (n / 4).max(1)
 }
 
-/// One `ElectLeader_r` stabilization trial under the batched engine, run
-/// through the dynamic state indexer (no up-front state enumeration).
-pub fn batched_ssle_trial(n: usize, seed: u64) -> TrialOutcome {
-    let protocol = ElectLeader::with_n_r(n, sweep_r(n)).expect("sweep parameters are valid");
-    let budget = protocol.params().suggested_budget();
-    let discovered = DiscoveredProtocol::new(protocol);
-    let handle = discovered.clone();
-    let mut sim = BatchSimulation::clean(discovered, seed);
-    let result = sim.measure_stabilization(
-        |c| output::is_correct_output_counts(&handle, c),
-        StabilizationOptions::new(n, budget),
-    );
-    TrialOutcome {
-        stabilized: result.stabilized(),
-        stabilized_at: result.stabilized_at,
-        total_interactions: result.interactions,
-        n,
-    }
-}
+/// A named `r` rule of the trade-off surface: the rule's label and its
+/// value as a function of `n`.
+type RRule = (&'static str, fn(usize) -> usize);
 
-/// The per-step arm of the cross-validation: the same instance and predicate
-/// under [`Simulation`].
-pub fn per_step_ssle_trial(n: usize, seed: u64) -> TrialOutcome {
-    let protocol = ElectLeader::with_n_r(n, sweep_r(n)).expect("sweep parameters are valid");
+/// The named `r` rules of the trade-off surface, in ascending-`r` order.
+/// Values are clamped into the theorem range like
+/// [`Scale::discovered_r_values`] (which is exactly these rules, deduped).
+const R_RULES: [RRule; 4] = [
+    ("r = 1", |_| 1),
+    ("r = ceil(ln n)", |n| (n as f64).ln().ceil() as usize),
+    ("r = ceil(sqrt n)", |n| (n as f64).sqrt().ceil() as usize),
+    ("r = n/4", |n| n / 4),
+];
+
+/// One `ElectLeader_r` stabilization trial under the chosen engine. The two
+/// count-based engines run through the dynamic state indexer (no up-front
+/// state enumeration).
+pub fn ssle_engine_trial(engine: Engine, n: usize, r: usize, seed: u64) -> TrialOutcome {
+    let protocol = ElectLeader::with_n_r(n, r).expect("sweep parameters are valid");
     let budget = protocol.params().suggested_budget();
-    let config = Configuration::clean(&protocol);
-    let mut sim = Simulation::new(protocol, config, seed);
-    let result = sim.measure_stabilization(
-        output::is_correct_output,
-        StabilizationOptions::new(n, budget),
-    );
+    let opts = StabilizationOptions::new(n, budget);
+    let result = match engine {
+        Engine::Batched => {
+            let discovered = DiscoveredProtocol::new(protocol);
+            let handle = discovered.clone();
+            let mut sim = BatchSimulation::clean(discovered, seed);
+            sim.measure_stabilization(|c| output::is_correct_output_counts(&handle, c), opts)
+        }
+        Engine::MultiBatch => {
+            let discovered = DiscoveredProtocol::new(protocol);
+            let handle = discovered.clone();
+            let mut sim = MultiBatchSimulation::clean(discovered, seed);
+            sim.measure_stabilization(|c| output::is_correct_output_counts(&handle, c), opts)
+        }
+        Engine::PerStep => {
+            let config = Configuration::clean(&protocol);
+            let mut sim = Simulation::new(protocol, config, seed);
+            sim.measure_stabilization(output::is_correct_output, opts)
+        }
+    };
     TrialOutcome {
         stabilized: result.stabilized(),
         stabilized_at: result.stabilized_at,
@@ -88,12 +107,43 @@ fn mean(samples: &[f64]) -> f64 {
     ppsim::Summary::of(samples).mean
 }
 
+/// Formats the cross-validation note comparing one count engine's samples
+/// against the per-step engine's at one sweep point.
+fn cross_validation_note(label: &str, n: usize, engine: &[f64], per_step: &[f64]) -> String {
+    let (m_e, m_ps) = (mean(engine), mean(per_step));
+    let rel_diff = (m_e - m_ps).abs() / m_ps;
+    let ks = ks_distance(engine, per_step);
+    // Two-sample KS 1% critical value — deliberately *not* capped at the
+    // trivial 1: when it exceeds 1 the sample is too small for the KS test
+    // to reject at this level at all, and even complete ECDF separation
+    // (distance 1, routine for a handful of samples with disjoint ranges)
+    // is not evidence of disagreement.
+    let (a, b) = (engine.len() as f64, per_step.len() as f64);
+    let critical = 1.63 * ((a + b) / (a * b)).sqrt();
+    let verdict = if rel_diff < 0.12 && ks < critical {
+        "engines agree"
+    } else {
+        "ENGINES DISAGREE"
+    };
+    format!(
+        "n = {n}, {label} vs per-step: {verdict} — relative mean difference {:.1}%, \
+         KS distance {ks:.3} (1% critical ≈ {critical:.2} at this sample size{}; \
+         tests/integration_batched.rs enforces the same statistics at larger samples)",
+        100.0 * rel_diff,
+        if critical >= 1.0 {
+            ", i.e. not rejectable by KS"
+        } else {
+            ""
+        }
+    )
+}
+
 /// E11 — stabilization-time curves for `ElectLeader_r` under the dynamically
-/// indexed batched engine, with log–log slope fits and per-step
-/// cross-validation.
+/// indexed count-based engines, with log–log slope fits, an `r` trade-off
+/// surface, and per-step cross-validation.
 pub fn e11_discovered_curves(scale: Scale) -> Table {
     let mut table = Table::new(
-        "E11 — ElectLeader_r stabilization curves: batched engine via dynamic state indexing",
+        "E11 — ElectLeader_r stabilization curves: count-based engines via dynamic state indexing",
         &[
             "n",
             "r",
@@ -106,97 +156,148 @@ pub fn e11_discovered_curves(scale: Scale) -> Table {
         ],
     );
     let trials = scale.trials();
-    let mut batched_points: Vec<(f64, f64)> = Vec::new();
-    let mut per_step_points: Vec<(f64, f64)> = Vec::new();
+    // (engine label at r = n/4) -> (n, mean) points for the engine slopes;
+    // (r rule) -> (n, mean) points for the surface slopes.
+    let mut engine_points: Vec<(Engine, Vec<(f64, f64)>)> = vec![
+        (Engine::Batched, Vec::new()),
+        (Engine::MultiBatch, Vec::new()),
+        (Engine::PerStep, Vec::new()),
+    ];
+    let mut rule_points: Vec<(&str, Vec<(f64, f64)>)> = R_RULES
+        .iter()
+        .map(|&(name, _)| (name, Vec::new()))
+        .collect();
     let mut overlap_notes: Vec<String> = Vec::new();
     for &n in &scale.discovered_n_values() {
-        let r = sweep_r(n);
-        let base_seed = derive_seed(scale.base_seed() ^ 0xE11, n as u64);
-        let mut cells = Vec::new();
-        let started = Instant::now();
-        let batched = run_trials(trials, base_seed, |seed| batched_ssle_trial(n, seed));
-        cells.push(("batched", batched, started.elapsed()));
-        if n <= scale.discovered_per_step_n_cap() {
-            let started = Instant::now();
-            let per_step = run_trials(trials, base_seed, |seed| per_step_ssle_trial(n, seed));
-            cells.push(("per-step", per_step, started.elapsed()));
-        }
-        let mut samples_by_engine = Vec::new();
-        for (engine, outcomes, elapsed) in cells {
-            let samples = stabilization_samples(&outcomes);
-            let (mean_interactions, mean_parallel) = if samples.is_empty() {
-                ("—".to_string(), "—".to_string())
-            } else {
-                let m = mean(&samples);
-                (fmt_f64(m), fmt_f64(m / n as f64))
-            };
-            table.push_row([
-                n.to_string(),
-                r.to_string(),
-                engine.to_string(),
-                trials.to_string(),
-                samples.len().to_string(),
-                mean_interactions,
-                mean_parallel,
-                fmt_f64(elapsed.as_secs_f64() * 1_000.0),
-            ]);
-            if !samples.is_empty() {
-                let point = (n as f64, mean(&samples));
-                if engine == "batched" {
-                    batched_points.push(point);
-                } else {
-                    per_step_points.push(point);
+        let fast_r = sweep_r(n);
+        // The full r grid up to the surface cap, the fast regime alone above.
+        let r_grid = if n <= scale.discovered_surface_n_cap() {
+            scale.discovered_r_values(n)
+        } else {
+            vec![fast_r]
+        };
+        for r in r_grid {
+            let base_seed = derive_seed(scale.base_seed() ^ 0xE11, (n * 131 + r) as u64);
+            // The multi-batch engine charts the whole surface (pre-
+            // stabilization ElectLeader_r is its high-activity home turf —
+            // about 3× faster than batched here, which matters most in the
+            // long r = 1 cells); the batched and per-step engines join at
+            // the fast-regime ratio, where the three-way cross-validation
+            // happens.
+            let mut engines = vec![Engine::MultiBatch];
+            if r == fast_r {
+                engines.push(Engine::Batched);
+                if n <= scale.discovered_per_step_n_cap() {
+                    engines.push(Engine::PerStep);
                 }
             }
-            samples_by_engine.push((engine, samples));
-        }
-        if let [(_, batched_samples), (_, per_step_samples)] = &samples_by_engine[..] {
-            if !batched_samples.is_empty() && !per_step_samples.is_empty() {
-                let (m_b, m_ps) = (mean(batched_samples), mean(per_step_samples));
-                let rel_diff = (m_b - m_ps).abs() / m_ps;
-                let ks = ks_distance(batched_samples, per_step_samples);
-                // Two-sample KS 1% critical value, capped at the trivial 1.
-                let (a, b) = (batched_samples.len() as f64, per_step_samples.len() as f64);
-                let critical = (1.63 * ((a + b) / (a * b)).sqrt()).min(1.0);
-                let verdict = if rel_diff < 0.12 && ks < critical {
-                    "engines agree"
+            let mut samples_by_engine: Vec<(Engine, Vec<f64>)> = Vec::new();
+            for engine in engines {
+                let started = Instant::now();
+                let outcomes = run_trials(trials, base_seed, |seed| {
+                    ssle_engine_trial(engine, n, r, seed)
+                });
+                let elapsed = started.elapsed();
+                let samples = stabilization_samples(&outcomes);
+                let (mean_interactions, mean_parallel) = if samples.is_empty() {
+                    ("—".to_string(), "—".to_string())
                 } else {
-                    "ENGINES DISAGREE"
+                    let m = mean(&samples);
+                    (fmt_f64(m), fmt_f64(m / n as f64))
                 };
-                overlap_notes.push(format!(
-                    "n = {n}: {verdict} — relative mean difference {:.1}%, KS distance {ks:.3} \
-                     (1% critical ≈ {critical:.2} at this sample size; \
-                     tests/integration_batched.rs enforces the same statistics at larger samples)",
-                    100.0 * rel_diff
-                ));
+                table.push_row([
+                    n.to_string(),
+                    r.to_string(),
+                    engine.label().to_string(),
+                    trials.to_string(),
+                    samples.len().to_string(),
+                    mean_interactions,
+                    mean_parallel,
+                    fmt_f64(elapsed.as_secs_f64() * 1_000.0),
+                ]);
+                if !samples.is_empty() {
+                    let point = (n as f64, mean(&samples));
+                    if r == fast_r {
+                        engine_points
+                            .iter_mut()
+                            .find(|(e, _)| *e == engine)
+                            .expect("all engines tracked")
+                            .1
+                            .push(point);
+                    }
+                    if engine == Engine::MultiBatch {
+                        for (rule, points) in rule_points.iter_mut() {
+                            let rule_fn = R_RULES
+                                .iter()
+                                .find(|&&(name, _)| name == *rule)
+                                .expect("rule exists")
+                                .1;
+                            if rule_fn(n).clamp(1, (n / 2).max(1)) == r {
+                                points.push(point);
+                            }
+                        }
+                    }
+                }
+                samples_by_engine.push((engine, samples));
+            }
+            if let Some((_, per_step)) = samples_by_engine
+                .iter()
+                .find(|(e, s)| *e == Engine::PerStep && !s.is_empty())
+            {
+                for (engine, samples) in &samples_by_engine {
+                    if *engine != Engine::PerStep && !samples.is_empty() {
+                        overlap_notes.push(cross_validation_note(
+                            engine.label(),
+                            n,
+                            samples,
+                            per_step,
+                        ));
+                    }
+                }
             }
         }
     }
-    for (engine, points) in [("batched", &batched_points), ("per-step", &per_step_points)] {
+    for (engine, points) in &engine_points {
         if points.len() >= 2 {
             table.push_note(format!(
-                "{engine} log–log slope of mean stabilization interactions vs n: {:.2} \
-                 (predicted Θ(n²/r · log n) = Θ(n log n) at r = n/4, i.e. slope ≈ 1 plus a log factor)",
+                "{} log–log slope of mean stabilization interactions vs n at r = n/4: {:.2} \
+                 (predicted Θ(n²/r · log n) = Θ(n log n), i.e. slope ≈ 1 plus a log factor)",
+                engine.label(),
                 log_log_slope(points)
             ));
         }
     }
+    for (rule, points) in &rule_points {
+        if points.len() >= 2 {
+            table.push_note(format!(
+                "trade-off surface, {rule}: multibatch log–log slope {:.2} \
+                 (predicted exponent falls from ≈ 2 at constant r toward ≈ 1 as r grows with n)",
+                log_log_slope(points)
+            ));
+        }
+    }
+    table.push_note(format!(
+        "The r trade-off surface sweeps the full grid up to n = {} at this scale; larger n run \
+         the fast-regime ratio r = n/4 only (the r = 1 cells cost Θ(n² log n) interactions with \
+         a large constant).",
+        scale.discovered_surface_n_cap()
+    ));
     table.notes.extend(overlap_notes);
     table.push_note(
-        "The batched engine reaches ElectLeader_r through ppsim::DiscoveredProtocol — state \
-         indices are assigned lazily as states are first reached, with no up-front |Q|² \
-         enumeration; the states-discovered count per run is a vanishing corner of the nominal \
-         state space."
+        "Both count-based engines reach ElectLeader_r through ppsim::DiscoveredProtocol — state \
+         indices are assigned lazily as states are first reached (with per-pair transition-\
+         support memoization), no up-front |Q|² enumeration; the states-discovered count per run \
+         is a vanishing corner of the nominal state space."
             .to_string(),
     );
     table.push_note(
         "Wall-clock: before stabilization nearly every ElectLeader_r interaction is \
-         state-changing (countdowns and probation timers tick), so there are no silent runs to \
-         skip and the sparse pair-index maintenance makes the batched engine slower than \
-         per-step at these sizes. Its payoff here is capability (count-space execution without \
-         enumeration) and the post-stabilization regime, where cross-group verifier meetings \
-         fall silent and batch away — the epidemics and baselines (E10) remain the throughput \
-         showcase."
+         state-changing, so the batched engine cannot skip silent runs at these sizes and pays \
+         sparse-pair-index maintenance per transition. The multi-batch engine instead pays per \
+         Θ(√n)-interaction epoch and resolves the deterministic tick/meeting groups in bulk \
+         (randomized ranking draws still take the blind per-interaction path), which makes it \
+         roughly 3× faster than batched on these cells — compare the paired 'cell wall ms' \
+         entries at r = n/4."
             .to_string(),
     );
     table
@@ -208,26 +309,66 @@ mod tests {
 
     #[test]
     fn batched_trial_stabilizes_a_tiny_instance() {
-        let outcome = batched_ssle_trial(12, 7);
+        let outcome = ssle_engine_trial(Engine::Batched, 12, sweep_r(12), 7);
         assert!(outcome.stabilized, "tiny clean instance must stabilize");
         assert!(outcome.parallel_time().unwrap() > 0.0);
     }
 
     #[test]
-    fn e11_reports_both_engines_and_a_slope() {
+    fn multibatch_trial_stabilizes_a_tiny_instance() {
+        let outcome = ssle_engine_trial(Engine::MultiBatch, 12, sweep_r(12), 7);
+        assert!(outcome.stabilized, "tiny clean instance must stabilize");
+        assert!(outcome.parallel_time().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn e11_reports_every_engine_and_the_slope_fits() {
         let table = e11_discovered_curves(Scale::Tiny);
-        let batched_rows = table.rows.iter().filter(|r| r[2] == "batched").count();
-        let per_step_rows = table.rows.iter().filter(|r| r[2] == "per-step").count();
-        assert_eq!(batched_rows, Scale::Tiny.discovered_n_values().len());
-        assert!(per_step_rows >= 1, "cross-validation rows must exist");
+        let count = |label: &str| table.rows.iter().filter(|r| r[2] == label).count();
+        let ns = Scale::Tiny.discovered_n_values();
+        // One multibatch row per (n, r) cell — the full grid up to the
+        // surface cap, the fast regime alone above it — and one batched row
+        // per n.
+        let multibatch_cells: usize = ns
+            .iter()
+            .map(|&n| {
+                if n <= Scale::Tiny.discovered_surface_n_cap() {
+                    Scale::Tiny.discovered_r_values(n).len()
+                } else {
+                    1
+                }
+            })
+            .sum();
+        assert_eq!(count("multibatch"), multibatch_cells);
+        assert_eq!(count("batched"), ns.len());
+        assert!(count("per-step") >= 1, "cross-validation rows must exist");
         assert!(
             table.notes.iter().any(|n| n.contains("log–log slope")),
             "slope fit note missing: {:?}",
             table.notes
         );
         assert!(
-            table.notes.iter().any(|n| n.contains("KS distance")),
-            "cross-validation note missing: {:?}",
+            table
+                .notes
+                .iter()
+                .any(|n| n.contains("trade-off surface, r = 1")),
+            "surface slope notes missing: {:?}",
+            table.notes
+        );
+        assert!(
+            table
+                .notes
+                .iter()
+                .any(|n| n.contains("multibatch vs per-step") && n.contains("KS distance")),
+            "multibatch cross-validation note missing: {:?}",
+            table.notes
+        );
+        assert!(
+            table
+                .notes
+                .iter()
+                .any(|n| n.contains("batched vs per-step") && n.contains("KS distance")),
+            "batched cross-validation note missing: {:?}",
             table.notes
         );
     }

@@ -1,16 +1,25 @@
-//! E10 — the engine scale sweep: batched vs per-step epidemic throughput.
+//! E10 — the engine scale sweep: batched vs multi-batch vs per-step
+//! epidemic throughput.
 //!
 //! The ROADMAP's north star asks for stabilization-time curves at realistic
 //! scale (`n ≥ 10⁶`, `Θ(n · polylog n)` interactions), which the per-agent
 //! engine cannot reach: it pays for every interaction. This experiment runs
-//! the one-way epidemic to completion under both engines across a grid of
-//! population sizes and reports wall-clock throughput, making the batched
-//! engine's advantage (and any regression of it) visible as a table.
+//! the one-way epidemic to completion under all three engines across a grid
+//! of population sizes and reports wall-clock throughput, making each
+//! engine's advantage (and any regression of it) visible as a table:
+//!
+//! * the **batched** engine pays per state-changing interaction (`n − 1` for
+//!   the epidemic, regardless of the `Θ(n log n)` total),
+//! * the **multi-batch** engine pays per `Θ(√n)`-interaction epoch
+//!   (`Θ(√n · log n)` epochs for the epidemic) — asymptotically the fastest
+//!   of the three on this workload, silence notwithstanding, because the
+//!   two-state count vector makes every epoch O(1).
 
-use crate::scale::Scale;
+use crate::scale::{Engine, Scale};
 use crate::table::{fmt_f64, Table};
 use ppsim::epidemic::{
-    measure_epidemic_time_batched, measure_epidemic_time_coarse, OneWayEpidemic,
+    measure_epidemic_time_batched, measure_epidemic_time_coarse, measure_epidemic_time_multibatch,
+    OneWayEpidemic,
 };
 use ppsim::rng::derive_seed;
 use std::time::Instant;
@@ -37,7 +46,7 @@ pub fn epidemic_throughput(
     n: usize,
     trials: usize,
     base_seed: u64,
-    batched: bool,
+    engine: Engine,
 ) -> EngineThroughput {
     let nf = n as f64;
     let budget = (50.0 * nf * nf.ln().max(1.0)).ceil() as u64;
@@ -46,12 +55,14 @@ pub fn epidemic_throughput(
     for trial in 0..trials {
         let seed = derive_seed(base_seed, trial as u64);
         let protocol = OneWayEpidemic::new(n, 1);
-        let t = if batched {
-            measure_epidemic_time_batched(protocol, seed, budget)
-        } else {
+        let t = match engine {
+            Engine::Batched => measure_epidemic_time_batched(protocol, seed, budget),
+            Engine::MultiBatch => measure_epidemic_time_multibatch(protocol, seed, budget),
             // Coarse completion checks (< 1% overshoot): an every-interaction
             // O(n) predicate would measure the predicate, not the engine.
-            measure_epidemic_time_coarse(protocol, seed, budget, (n as u64 / 8).max(256))
+            Engine::PerStep => {
+                measure_epidemic_time_coarse(protocol, seed, budget, (n as u64 / 8).max(256))
+            }
         };
         total_interactions += t.expect("epidemic completes within 50 n ln n");
     }
@@ -62,10 +73,10 @@ pub fn epidemic_throughput(
     }
 }
 
-/// E10 — batched vs per-step engine throughput on the one-way epidemic.
+/// E10 — engine throughput on the one-way epidemic across population sizes.
 pub fn e10_engine_scale(scale: Scale) -> Table {
     let mut table = Table::new(
-        "E10 — engine scale sweep: batched vs per-step epidemic throughput",
+        "E10 — engine scale sweep: batched vs multi-batch vs per-step epidemic throughput",
         &[
             "n",
             "engine",
@@ -77,41 +88,61 @@ pub fn e10_engine_scale(scale: Scale) -> Table {
         ],
     );
     let trials = scale.trials();
-    let mut speedups: Vec<(usize, f64)> = Vec::new();
+    let mut speedup_notes: Vec<String> = Vec::new();
     for &n in &scale.batched_n_values() {
         let base_seed = derive_seed(scale.base_seed() ^ 0xE10, n as u64);
-        let batched = epidemic_throughput(n, trials, base_seed, true);
-        let per_step = if n <= scale.per_step_n_cap() {
-            Some(epidemic_throughput(n, trials, base_seed, false))
-        } else {
-            None
+        let mut wall_by_engine: Vec<(Engine, f64)> = Vec::new();
+        for engine in scale.e10_engines(n) {
+            let m = epidemic_throughput(n, trials, base_seed, engine);
+            table.push_row([
+                n.to_string(),
+                engine.label().to_string(),
+                trials.to_string(),
+                fmt_f64(m.mean_interactions),
+                fmt_f64(m.mean_interactions / n as f64),
+                fmt_f64(m.mean_wall_ms),
+                fmt_f64(m.interactions_per_us()),
+            ]);
+            wall_by_engine.push((engine, m.mean_wall_ms));
+        }
+        let wall = |engine: Engine| -> Option<f64> {
+            wall_by_engine
+                .iter()
+                .find(|&&(e, _)| e == engine)
+                .map(|&(_, w)| w)
         };
-        for (engine, m) in [("batched", Some(batched)), ("per-step", per_step)] {
-            if let Some(m) = m {
-                table.push_row([
-                    n.to_string(),
-                    engine.to_string(),
-                    trials.to_string(),
-                    fmt_f64(m.mean_interactions),
-                    fmt_f64(m.mean_interactions / n as f64),
-                    fmt_f64(m.mean_wall_ms),
-                    fmt_f64(m.interactions_per_us()),
-                ]);
-            }
+        let (batched, multibatch) = (
+            wall(Engine::Batched).expect("batched always runs"),
+            wall(Engine::MultiBatch).expect("multibatch always runs"),
+        );
+        if let Some(per_step) = wall(Engine::PerStep) {
+            speedup_notes.push(format!(
+                "n = {n}: batched engine {:.1}× faster wall-clock than per-step",
+                per_step / batched.max(1e-9)
+            ));
         }
-        if let Some(per_step) = per_step {
-            speedups.push((n, per_step.mean_wall_ms / batched.mean_wall_ms.max(1e-9)));
-        }
+        // Phrase the duel in the direction it actually went: at small n the
+        // √n epoch is too short and the batched engine wins the wall clock.
+        let ratio = batched / multibatch.max(1e-9);
+        speedup_notes.push(if ratio >= 1.0 {
+            format!("n = {n}: multi-batch engine {ratio:.1}× faster wall-clock than batched")
+        } else {
+            format!(
+                "n = {n}: multi-batch engine {:.1}× slower wall-clock than batched \
+                 (below the engine's crossover size)",
+                1.0 / ratio
+            )
+        });
     }
-    for (n, speedup) in speedups {
-        table.push_note(format!(
-            "n = {n}: batched engine {speedup:.1}× faster wall-clock than per-step"
-        ));
+    for note in speedup_notes {
+        table.push_note(note);
     }
     table.push_note(
-        "Expected shape: per-step throughput is flat in n while batched throughput grows \
-         roughly like the interactions-per-state-change ratio 2 ln n; both engines report \
-         completion interactions near 2 n ln n."
+        "Expected shape: per-step throughput is flat in n; batched throughput grows like the \
+         interactions-per-state-change ratio 2 ln n; multi-batch throughput grows like the \
+         epoch length ≈ 0.63·√n (every epoch of the two-state epidemic costs O(1)), so its \
+         advantage over batched widens with n. All engines report completion interactions near \
+         2 n ln n."
             .to_string(),
     );
     table
@@ -123,24 +154,33 @@ mod tests {
 
     #[test]
     fn throughput_measures_sane_values() {
-        let m = epidemic_throughput(512, 2, 3, true);
-        let nf = 512f64;
-        // Completion near 2 n ln n, within loose Monte-Carlo bounds.
-        assert!(m.mean_interactions > nf);
-        assert!(m.mean_interactions < 10.0 * nf * nf.ln());
-        assert!(m.mean_wall_ms >= 0.0);
+        for engine in [Engine::PerStep, Engine::Batched, Engine::MultiBatch] {
+            let m = epidemic_throughput(512, 2, 3, engine);
+            let nf = 512f64;
+            // Completion near 2 n ln n, within loose Monte-Carlo bounds.
+            assert!(m.mean_interactions > nf, "{engine:?}");
+            assert!(m.mean_interactions < 10.0 * nf * nf.ln(), "{engine:?}");
+            assert!(m.mean_wall_ms >= 0.0);
+        }
     }
 
     #[test]
-    fn e10_reports_both_engines_up_to_the_cap() {
+    fn e10_reports_every_engine_up_to_the_cap() {
         let table = e10_engine_scale(Scale::Tiny);
-        let batched_rows = table.rows.iter().filter(|r| r[1] == "batched").count();
-        let per_step_rows = table.rows.iter().filter(|r| r[1] == "per-step").count();
-        assert_eq!(batched_rows, Scale::Tiny.batched_n_values().len());
-        assert!(per_step_rows >= 1, "the comparison rows must exist");
+        let count = |label: &str| table.rows.iter().filter(|r| r[1] == label).count();
+        let ns = Scale::Tiny.batched_n_values().len();
+        assert_eq!(count("batched"), ns);
+        assert_eq!(count("multibatch"), ns);
+        assert!(count("per-step") >= 1, "the comparison rows must exist");
         for row in &table.rows {
             let interactions: f64 = row[3].parse().unwrap();
             assert!(interactions > 0.0);
         }
+        assert!(
+            table.notes.iter().any(|n| n.contains("multi-batch engine")
+                && (n.contains("faster") || n.contains("slower"))),
+            "multi-batch duel notes missing: {:?}",
+            table.notes
+        );
     }
 }

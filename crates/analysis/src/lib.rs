@@ -22,5 +22,5 @@ pub mod scale;
 pub mod table;
 
 pub use runner::{run_trials, summarize_trials, TrialOutcome, TrialSummary};
-pub use scale::Scale;
+pub use scale::{Engine, Scale};
 pub use table::Table;

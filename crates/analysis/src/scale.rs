@@ -7,6 +7,36 @@
 
 use serde::Serialize;
 
+/// The simulation engine an experiment cell runs under.
+///
+/// Engine selection lives next to [`Scale`] because the two answer the same
+/// question — "how should this cell be executed?" — and the scale caps decide
+/// which engines are affordable at which population sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Engine {
+    /// The per-agent engine ([`ppsim::Simulation`]): pays for every
+    /// interaction, works for any state type.
+    PerStep,
+    /// The batched count-based engine ([`ppsim::BatchSimulation`]): skips
+    /// silent runs geometrically, pays per state-changing interaction.
+    Batched,
+    /// The multi-batch collision sampler ([`ppsim::MultiBatchSimulation`]):
+    /// resolves `Θ(√n)`-interaction batches per statistical draw, pays per
+    /// epoch regardless of how many interactions change state.
+    MultiBatch,
+}
+
+impl Engine {
+    /// The engine's name as used in experiment-table rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::PerStep => "per-step",
+            Engine::Batched => "batched",
+            Engine::MultiBatch => "multibatch",
+        }
+    }
+}
+
 /// How large an experiment run should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum Scale {
@@ -108,6 +138,36 @@ impl Scale {
         }
     }
 
+    /// The engines the E10 scale sweep runs at population size `n`: both
+    /// count-based engines always (their duel is the point of the
+    /// experiment), the per-step engine up to [`Scale::per_step_n_cap`].
+    pub fn e10_engines(self, n: usize) -> Vec<Engine> {
+        let mut engines = vec![Engine::Batched, Engine::MultiBatch];
+        if n <= self.per_step_n_cap() {
+            engines.insert(0, Engine::PerStep);
+        }
+        engines
+    }
+
+    /// The trade-off parameters the E11 surface sweep uses at population
+    /// size `n`: `r ∈ {1, ⌈ln n⌉, ⌈√n⌉, n/4}`, clamped into the theorem
+    /// range `1 ≤ r ≤ n/2`, deduplicated, ascending.
+    pub fn discovered_r_values(self, n: usize) -> Vec<usize> {
+        let nf = n as f64;
+        let mut values: Vec<usize> = [
+            1usize,
+            nf.ln().ceil() as usize,
+            nf.sqrt().ceil() as usize,
+            n / 4,
+        ]
+        .into_iter()
+        .map(|r| r.clamp(1, (n / 2).max(1)))
+        .collect();
+        values.sort_unstable();
+        values.dedup();
+        values
+    }
+
     /// The population sizes of the E11 `ElectLeader_r` sweep under the
     /// dynamically indexed batched engine.
     ///
@@ -120,6 +180,19 @@ impl Scale {
             Scale::Tiny => vec![12, 16],
             Scale::Quick => vec![16, 24, 32, 48],
             Scale::Full => vec![16, 24, 32, 48, 64, 96],
+        }
+    }
+
+    /// The largest population the E11 `r` trade-off surface sweeps the full
+    /// [`Scale::discovered_r_values`] grid at; beyond it only the fast-regime
+    /// ratio `r = n/4` runs. The slow `r = 1` cells cost `Θ(n² log n)`
+    /// interactions with a large constant, so the surface stops below the
+    /// `n`-sweep's top instead of letting one cell dominate the experiment.
+    pub fn discovered_surface_n_cap(self) -> usize {
+        match self {
+            Scale::Tiny => 16,
+            Scale::Quick => 32,
+            Scale::Full => 48,
         }
     }
 
@@ -190,6 +263,65 @@ mod tests {
                 scale.batched_n_values().iter().any(|&n| n <= cap),
                 "at least one n must run under both engines"
             );
+        }
+    }
+
+    #[test]
+    fn e10_engines_always_include_both_count_engines() {
+        for scale in [Scale::Tiny, Scale::Quick, Scale::Full] {
+            for &n in &scale.batched_n_values() {
+                let engines = scale.e10_engines(n);
+                assert!(engines.contains(&Engine::Batched));
+                assert!(engines.contains(&Engine::MultiBatch));
+                assert_eq!(
+                    engines.contains(&Engine::PerStep),
+                    n <= scale.per_step_n_cap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_labels_are_distinct() {
+        let labels = [
+            Engine::PerStep.label(),
+            Engine::Batched.label(),
+            Engine::MultiBatch.label(),
+        ];
+        let mut dedup = labels.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn discovered_r_values_stay_in_the_theorem_range() {
+        for scale in [Scale::Tiny, Scale::Quick, Scale::Full] {
+            for &n in &scale.discovered_n_values() {
+                let rs = scale.discovered_r_values(n);
+                assert!(!rs.is_empty());
+                assert!(rs.iter().all(|&r| r >= 1 && r <= (n / 2).max(1)), "{rs:?}");
+                assert!(rs.windows(2).all(|w| w[0] < w[1]), "{rs:?}");
+                assert!(rs.contains(&1), "the space-frugal extreme must stay");
+                assert!(
+                    rs.contains(&((n / 4).clamp(1, n / 2))),
+                    "the fast regime must stay: {rs:?} for n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn discovered_surface_cap_keeps_at_least_two_sweep_points() {
+        // The per-rule log–log slope fits need two points minimum.
+        for scale in [Scale::Tiny, Scale::Quick, Scale::Full] {
+            let cap = scale.discovered_surface_n_cap();
+            let covered = scale
+                .discovered_n_values()
+                .iter()
+                .filter(|&&n| n <= cap)
+                .count();
+            assert!(covered >= 2, "{scale:?}: only {covered} surface points");
         }
     }
 

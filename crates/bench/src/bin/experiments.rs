@@ -103,6 +103,6 @@ fn print_usage() {
     eprintln!("  e7  soft-reset safety                (Section 3.2)");
     eprintln!("  e8  epidemic & load-balancing substrate (Lemmas A.2, E.6)");
     eprintln!("  e9  synthetic-coin quality           (Appendix B)");
-    eprintln!("  e10 engine scale sweep: batched vs per-step at large n");
-    eprintln!("  e11 ElectLeader_r stabilization curves (batched, dynamic state indexing)");
+    eprintln!("  e10 engine scale sweep: batched vs multi-batch vs per-step at large n");
+    eprintln!("  e11 ElectLeader_r stabilization curves + r trade-off surface (dynamic indexing)");
 }

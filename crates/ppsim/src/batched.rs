@@ -449,8 +449,12 @@ fn pair_weight(counts: &CountConfiguration, u: usize, v: usize) -> u64 {
 }
 
 /// Samples an outcome from a non-empty
-/// [`EnumerableProtocol::transition_support`] distribution.
-fn sample_support(rng: &mut SimRng, support: &[((usize, usize), f64)]) -> (usize, usize) {
+/// [`EnumerableProtocol::transition_support`] distribution (shared with the
+/// multi-batch engine's collision-interaction path).
+pub(crate) fn sample_support(
+    rng: &mut SimRng,
+    support: &[((usize, usize), f64)],
+) -> (usize, usize) {
     debug_assert!(support.iter().all(|&(_, w)| w > 0.0));
     let total: f64 = support.iter().map(|&(_, w)| w).sum();
     // 53 uniform bits, scaled to [0, total).

@@ -220,6 +220,41 @@ impl CountConfiguration {
         self.counts[to.0] += 1;
         self.counts[to.1] += 1;
     }
+
+    /// Commits a whole batch of transitions at once: `removals` agents leave
+    /// their states and `additions` agents enter theirs. The two multisets
+    /// must have equal totals (the population is conserved); entries may
+    /// repeat a state, and their order is irrelevant.
+    ///
+    /// Used by the multi-batch engine ([`crate::MultiBatchSimulation`]),
+    /// which resolves all interactions of an epoch on the *pre-epoch* counts
+    /// and only then applies the net effect — removals are the batch's drawn
+    /// agents, additions their transition outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a removal exceeds a state's count or the totals differ.
+    pub fn apply_batch(&mut self, removals: &[(usize, u64)], additions: &[(usize, u64)]) {
+        let mut removed = 0u64;
+        for &(state, count) in removals {
+            assert!(
+                self.counts[state] >= count,
+                "batch removes {count} agents from state {state} holding {}",
+                self.counts[state]
+            );
+            self.counts[state] -= count;
+            removed += count;
+        }
+        let mut added = 0u64;
+        for &(state, count) in additions {
+            self.counts[state] += count;
+            added += count;
+        }
+        assert_eq!(
+            removed, added,
+            "batch must conserve the population (removed {removed}, added {added})"
+        );
+    }
 }
 
 impl fmt::Debug for CountConfiguration {
@@ -300,6 +335,31 @@ mod tests {
         assert_eq!(counts.population(), 10);
         counts.apply_transition((2, 2), (0, 1));
         assert_eq!(counts.counts(), &[5, 5, 0]);
+    }
+
+    #[test]
+    fn apply_batch_commits_delayed_updates() {
+        let mut counts = CountConfiguration::from_counts(vec![6, 4, 0]);
+        counts.apply_batch(&[(0, 3), (1, 2)], &[(2, 4), (0, 1)]);
+        assert_eq!(counts.counts(), &[4, 2, 4]);
+        assert_eq!(counts.population(), 10);
+        // Empty batches are fine.
+        counts.apply_batch(&[], &[]);
+        assert_eq!(counts.counts(), &[4, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch removes")]
+    fn apply_batch_rejects_overdraining_a_state() {
+        let mut counts = CountConfiguration::from_counts(vec![2, 8]);
+        counts.apply_batch(&[(0, 3)], &[(1, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "conserve the population")]
+    fn apply_batch_rejects_population_changes() {
+        let mut counts = CountConfiguration::from_counts(vec![5, 5]);
+        counts.apply_batch(&[(0, 2)], &[(1, 3)]);
     }
 
     #[test]

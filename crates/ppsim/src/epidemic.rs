@@ -11,6 +11,7 @@ use crate::batched::BatchSimulation;
 use crate::configuration::Configuration;
 use crate::enumerable::EnumerableProtocol;
 use crate::indexer::SupportEnumerable;
+use crate::multibatch::MultiBatchSimulation;
 use crate::protocol::{AgentId, CleanInit, InteractionCtx, Protocol};
 use crate::simulation::Simulation;
 
@@ -219,6 +220,22 @@ where
     out.satisfied.then_some(out.interactions)
 }
 
+/// Like [`measure_epidemic_time`], but under the multi-batch collision
+/// sampler engine ([`MultiBatchSimulation`]) — whole `Θ(√n)` batches of
+/// interactions per statistical draw, the fastest tier while the epidemic is
+/// *dense* (most interactions state-changing or nearly so).
+///
+/// Completion is observed at epoch commits, so the returned time may
+/// overshoot the true completion by up to one epoch (`O(√n)` interactions).
+pub fn measure_epidemic_time_multibatch<P>(protocol: P, seed: u64, budget: u64) -> Option<u64>
+where
+    P: EnumerableProtocol<State = bool> + CleanInit,
+{
+    let mut sim = MultiBatchSimulation::clean(protocol, seed);
+    let out = sim.run_until(|c| c.count(INFORMED) == c.population(), budget);
+    out.satisfied.then_some(out.interactions)
+}
+
 /// The empirical epidemic constant: completion interactions divided by
 /// `n · ln n`.
 pub fn epidemic_constant(interactions: u64, n: usize) -> f64 {
@@ -319,6 +336,43 @@ mod tests {
         assert!(
             (per_step - batched).abs() < 0.5 * per_step,
             "per-step mean {per_step} vs batched mean {batched}"
+        );
+    }
+
+    #[test]
+    fn multibatch_time_matches_per_step_in_expectation() {
+        let n = 96;
+        let trials = 12;
+        let mean = |multibatch: bool| -> f64 {
+            (0..trials)
+                .map(|i| {
+                    if multibatch {
+                        measure_epidemic_time_multibatch(
+                            OneWayEpidemic::new(n, 1),
+                            30 + i,
+                            u64::MAX,
+                        )
+                        .unwrap() as f64
+                    } else {
+                        measure_epidemic_time(OneWayEpidemic::new(n, 1), 30 + i, u64::MAX).unwrap()
+                            as f64
+                    }
+                })
+                .sum::<f64>()
+                / trials as f64
+        };
+        let (per_step, multibatch) = (mean(false), mean(true));
+        assert!(
+            (per_step - multibatch).abs() < 0.5 * per_step,
+            "per-step mean {per_step} vs multibatch mean {multibatch}"
+        );
+    }
+
+    #[test]
+    fn multibatch_insufficient_budget_returns_none() {
+        assert_eq!(
+            measure_epidemic_time_multibatch(TwoWayEpidemic::new(64, 1), 0, 5),
+            None
         );
     }
 

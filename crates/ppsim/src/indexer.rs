@@ -223,6 +223,12 @@ where
 {
     inner: Rc<P>,
     interner: Rc<RefCell<Interner<P::State>>>,
+    /// Memoized [`EnumerableProtocol::transition_support`] answers per fired
+    /// ordered index pair. Sound because supports are functions of the two
+    /// states only and indices never change; shared across clones so a
+    /// predicate handle warms the same cache as the engine.
+    #[allow(clippy::type_complexity)]
+    support_cache: Rc<RefCell<HashMap<(usize, usize), Vec<((usize, usize), f64)>>>>,
 }
 
 impl<P: SupportEnumerable> Clone for DiscoveredProtocol<P>
@@ -233,6 +239,7 @@ where
         DiscoveredProtocol {
             inner: Rc::clone(&self.inner),
             interner: Rc::clone(&self.interner),
+            support_cache: Rc::clone(&self.support_cache),
         }
     }
 }
@@ -257,7 +264,13 @@ where
         DiscoveredProtocol {
             inner: Rc::new(inner),
             interner: Rc::new(RefCell::new(Interner::new())),
+            support_cache: Rc::new(RefCell::new(HashMap::new())),
         }
+    }
+
+    /// Number of ordered index pairs with a memoized transition support.
+    pub fn cached_supports(&self) -> usize {
+        self.support_cache.borrow().len()
     }
 
     /// The wrapped protocol.
@@ -353,6 +366,14 @@ where
     }
 
     fn transition_support(&self, initiator: usize, responder: usize) -> Vec<((usize, usize), f64)> {
+        // A pair that fired once tends to fire again (the batched engine asks
+        // per executed transition, and `ElectLeader_r` runs concentrate their
+        // firing on a handful of occupied pairs), so memoize the answer per
+        // index pair: `pair_support` probes the transition on clones of the
+        // (wide) states, which dwarfs a small-`Vec` clone from the cache.
+        if let Some(cached) = self.support_cache.borrow().get(&(initiator, responder)) {
+            return cached.clone();
+        }
         // Hold the immutable borrow only across the (reference-taking)
         // support call — the wrapped protocol cannot touch the interner —
         // then re-borrow mutably to intern the owned outcome states. This
@@ -362,7 +383,7 @@ where
             self.inner
                 .pair_support(&interner.states[initiator], &interner.states[responder])
         };
-        match support {
+        let indexed = match support {
             Some(support) => {
                 let mut interner = self.interner.borrow_mut();
                 support
@@ -371,7 +392,11 @@ where
                     .collect()
             }
             None => Vec::new(),
-        }
+        };
+        self.support_cache
+            .borrow_mut()
+            .insert((initiator, responder), indexed.clone());
+        indexed
     }
 }
 
@@ -503,6 +528,39 @@ mod tests {
             deterministic_support(&coin, &false, &true),
             Some(vec![((false, true), 1.0)])
         );
+    }
+
+    #[test]
+    fn transition_supports_are_cached_per_index_pair() {
+        let p = DiscoveredProtocol::new(LazyCoin(4));
+        let excited = p.encode(&true);
+        let calm = p.encode(&false);
+        assert_eq!(p.cached_supports(), 0);
+        let first = p.transition_support(excited, calm);
+        assert_eq!(p.cached_supports(), 1);
+        // The cached answer is returned verbatim, and clones share the cache.
+        assert_eq!(p.clone().transition_support(excited, calm), first);
+        assert_eq!(p.cached_supports(), 1);
+        // Unknown supports (empty answers) are memoized too — that is what
+        // saves the repeated deterministic-support probe per fired pair.
+        struct Sampler(usize);
+        impl Protocol for Sampler {
+            type State = u8;
+            fn population_size(&self) -> usize {
+                self.0
+            }
+            fn interact(&self, u: &mut u8, _v: &mut u8, ctx: &mut InteractionCtx<'_>) {
+                *u = (ctx.sample_below(3)) as u8;
+            }
+        }
+        impl SupportEnumerable for Sampler {}
+        let q = DiscoveredProtocol::new(Sampler(4));
+        let a = q.encode(&0);
+        let b = q.encode(&1);
+        assert!(q.transition_support(a, b).is_empty());
+        assert_eq!(q.cached_supports(), 1);
+        assert!(q.transition_support(a, b).is_empty());
+        assert_eq!(q.cached_supports(), 1);
     }
 
     #[test]

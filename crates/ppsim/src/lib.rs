@@ -21,6 +21,11 @@
 //!   an enumerable state space ([`EnumerableProtocol`],
 //!   [`CountConfiguration`]): silent interaction runs are sampled
 //!   geometrically instead of executed, making `n ≥ 10⁶` populations cheap,
+//! * [`MultiBatchSimulation`] — the multi-batch collision sampler engine:
+//!   whole `Θ(√n)`-sized batches of interactions are resolved per epoch with
+//!   hypergeometric/multinomial draws over the count vector (plus an exact
+//!   collision correction), the tier of choice when most interactions are
+//!   state-changing and silence-skipping cannot help,
 //! * [`indexer`] — dynamic state indexing ([`DiscoveredProtocol`],
 //!   [`SupportEnumerable`]): runs the batched engine on protocols whose
 //!   state space is too large to enumerate, assigning indices lazily as
@@ -82,6 +87,7 @@ pub mod epidemic;
 pub mod error;
 pub mod indexer;
 pub mod metrics;
+pub mod multibatch;
 pub mod protocol;
 pub mod rng;
 pub mod scheduler;
@@ -98,6 +104,7 @@ pub use enumerable::EnumerableProtocol;
 pub use error::SimError;
 pub use indexer::{DiscoveredProtocol, SupportEnumerable};
 pub use metrics::InteractionMetrics;
+pub use multibatch::MultiBatchSimulation;
 pub use protocol::{AgentId, CleanInit, InteractionCtx, LeaderOutput, Protocol, RankingOutput};
 pub use rng::SimRng;
 pub use scheduler::{OrderedPair, Scheduler, ScriptedScheduler, UniformScheduler};

@@ -6,7 +6,9 @@ use ppsim::{
     OrderedPair, Protocol, Scheduler, SimRng, Summary, SyntheticCoin, UniformScheduler,
 };
 use proptest::prelude::*;
-use rand::distributions::{Binomial, Distribution, Geometric};
+use rand::distributions::{
+    hypergeometric_split, multinomial_split, Binomial, Distribution, Geometric, Hypergeometric,
+};
 use rand::RngCore;
 
 /// A protocol whose state is its own index in `0..k` — just enough structure
@@ -199,6 +201,118 @@ proptest! {
             (mean - expected).abs() < margin,
             "Bin({n},{p}): mean {mean} vs {expected} (margin {margin})"
         );
+    }
+
+    /// Hypergeometric samples always land inside the support
+    /// `max(0, k + K − N) ..= min(k, K)` and track the mean `k·K/N`.
+    #[test]
+    fn hypergeometric_sampler_respects_support_and_mean(
+        total in 2u64..5000,
+        successes_pct in 0u64..=100,
+        draws_pct in 0u64..=100,
+        seed in any::<u64>(),
+    ) {
+        let successes = total * successes_pct / 100;
+        let draws = total * draws_pct / 100;
+        let d = Hypergeometric::new(total, successes, draws).unwrap();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let samples = 150;
+        let mut sum = 0.0;
+        for _ in 0..samples {
+            let x = d.sample(&mut rng);
+            prop_assert!(
+                (d.support_min()..=d.support_max()).contains(&x),
+                "Hyp({total},{successes},{draws}) sample {x} outside [{}, {}]",
+                d.support_min(),
+                d.support_max()
+            );
+            sum += x as f64;
+        }
+        let mean = sum / samples as f64;
+        let expected = draws as f64 * successes as f64 / total as f64;
+        // σ² = k·(K/N)·(1−K/N)·(N−k)/(N−1); 6σ margin on the sample mean.
+        let p = successes as f64 / total as f64;
+        let fpc = (total - draws) as f64 / (total as f64 - 1.0);
+        let sigma = (draws as f64 * p * (1.0 - p) * fpc / samples as f64).sqrt();
+        prop_assert!(
+            (mean - expected).abs() < 6.0 * sigma + 0.5,
+            "Hyp({total},{successes},{draws}): mean {mean} vs {expected}"
+        );
+    }
+
+    /// Degenerate hypergeometric parameters are single-point distributions:
+    /// drawing nothing, draining the urn, and one-color urns need (and
+    /// consume) no randomness at all.
+    #[test]
+    fn hypergeometric_degenerate_cases_are_deterministic(
+        total in 1u64..1000,
+        successes_pct in 0u64..=100,
+        seed in any::<u64>(),
+    ) {
+        let successes = total * successes_pct / 100;
+        let mut rng = SimRng::seed_from_u64(seed);
+        // k = 0.
+        prop_assert_eq!(Hypergeometric::new(total, successes, 0).unwrap().sample(&mut rng), 0);
+        // k = N drains the urn.
+        prop_assert_eq!(
+            Hypergeometric::new(total, successes, total).unwrap().sample(&mut rng),
+            successes
+        );
+        // Single-color urns.
+        prop_assert_eq!(Hypergeometric::new(total, 0, total / 2).unwrap().sample(&mut rng), 0);
+        prop_assert_eq!(
+            Hypergeometric::new(total, total, total / 2).unwrap().sample(&mut rng),
+            total / 2
+        );
+    }
+
+    /// A multivariate hypergeometric split conserves the draw count and
+    /// never draws more of a color than the urn holds.
+    #[test]
+    fn hypergeometric_split_is_a_valid_sub_multiset(
+        counts in prop::collection::vec(0u64..60, 1..12),
+        draws_pct in 0u64..=100,
+        seed in any::<u64>(),
+    ) {
+        let urn: u64 = counts.iter().sum();
+        let draws = urn * draws_pct / 100;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let split = hypergeometric_split(&counts, draws, &mut rng);
+        prop_assert_eq!(split.len(), counts.len());
+        prop_assert_eq!(split.iter().sum::<u64>(), draws);
+        for (i, (&got, &cap)) in split.iter().zip(&counts).enumerate() {
+            prop_assert!(got <= cap, "color {}: drew {} of {}", i, got, cap);
+        }
+    }
+
+    /// A multinomial split conserves the trial count, gives zero-weight
+    /// outcomes nothing, and tracks the expected allocation.
+    #[test]
+    fn multinomial_split_conserves_trials(
+        trials in 0u64..2000,
+        weights_raw in prop::collection::vec(0u64..100, 1..8),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights_raw.iter().sum::<u64>() > 0);
+        let weights: Vec<f64> = weights_raw.iter().map(|&w| w as f64).collect();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let split = multinomial_split(trials, &weights, &mut rng);
+        prop_assert_eq!(split.len(), weights.len());
+        prop_assert_eq!(split.iter().sum::<u64>(), trials);
+        let total_w: f64 = weights.iter().sum();
+        for (i, (&got, &w)) in split.iter().zip(&weights) .enumerate() {
+            if w == 0.0 {
+                prop_assert_eq!(got, 0, "zero-weight outcome {} drew {}", i, got);
+            } else {
+                let expected = trials as f64 * w / total_w;
+                let sigma = (trials as f64 * (w / total_w) * (1.0 - w / total_w)).sqrt();
+                prop_assert!(
+                    (got as f64 - expected).abs() < 8.0 * sigma + 1.0,
+                    "outcome {}: {} vs expected {}",
+                    i, got, expected
+                );
+            }
+        }
     }
 
     /// Converting a per-agent configuration to counts and back preserves the

@@ -13,13 +13,18 @@
 //! fixed, so these tests are deterministic — the tolerances carry wide
 //! margins over the observed statistics rather than guarding against flake.
 
+use analysis::Engine;
 use baselines::{DirectCollisionSsle, LooselyStabilizingLe};
-use ppsim::epidemic::{measure_epidemic_time, measure_epidemic_time_batched, OneWayEpidemic};
+use ppsim::epidemic::{
+    measure_epidemic_time, measure_epidemic_time_batched, measure_epidemic_time_multibatch,
+    OneWayEpidemic,
+};
 use ppsim::rng::derive_seed;
 use ppsim::simulation::StabilizationOptions;
 use ppsim::stats::ks_distance;
 use ppsim::{
-    BatchSimulation, Configuration, CountConfiguration, DiscoveredProtocol, Simulation, Summary,
+    BatchSimulation, Configuration, CountConfiguration, DiscoveredProtocol, MultiBatchSimulation,
+    Simulation, Summary,
 };
 use ssle_core::{output, ElectLeader};
 
@@ -27,15 +32,15 @@ const N: usize = 512;
 const TRIALS: u64 = 48;
 const BASE_SEED: u64 = 0xBA7C_4ED0;
 
-fn completion_samples(batched: bool) -> Vec<f64> {
+fn completion_samples(engine: Engine) -> Vec<f64> {
     (0..TRIALS)
         .map(|trial| {
             let seed = derive_seed(BASE_SEED, trial);
             let protocol = OneWayEpidemic::new(N, 1);
-            let t = if batched {
-                measure_epidemic_time_batched(protocol, seed, u64::MAX)
-            } else {
-                measure_epidemic_time(protocol, seed, u64::MAX)
+            let t = match engine {
+                Engine::PerStep => measure_epidemic_time(protocol, seed, u64::MAX),
+                Engine::Batched => measure_epidemic_time_batched(protocol, seed, u64::MAX),
+                Engine::MultiBatch => measure_epidemic_time_multibatch(protocol, seed, u64::MAX),
             };
             t.expect("epidemic completes") as f64
         })
@@ -64,8 +69,8 @@ fn assert_distributions_agree(
 
 #[test]
 fn engines_agree_on_the_completion_time_distribution() {
-    let per_step = completion_samples(false);
-    let batched = completion_samples(true);
+    let per_step = completion_samples(Engine::PerStep);
+    let batched = completion_samples(Engine::Batched);
     let s_ps = Summary::of(&per_step);
     let s_b = Summary::of(&batched);
 
@@ -97,26 +102,45 @@ fn engines_agree_on_the_completion_time_distribution() {
     assert!(d < 0.33, "KS distance {d} exceeds the 1% critical value");
 }
 
+/// The multi-batch collision sampler produces the same epidemic
+/// completion-time distribution as the per-step engine. Its completion
+/// observations carry epoch granularity (`O(√n) ≈ 28` interactions at
+/// `n = 512`, ~0.4% of the ~6400-interaction mean), far inside the
+/// tolerances.
+#[test]
+fn multibatch_agrees_on_the_completion_time_distribution() {
+    let per_step = completion_samples(Engine::PerStep);
+    let multibatch = completion_samples(Engine::MultiBatch);
+    assert_distributions_agree(
+        "multi-batch epidemic completion time",
+        &per_step,
+        &multibatch,
+        0.12,
+        0.33,
+    );
+}
+
 /// Same statistical-equivalence check for the direct-collision SSLE baseline
 /// (which got its `EnumerableProtocol` impl in PR 2 but no cross-engine
 /// distribution test): the observable is the time until the presumed ranks
 /// first form a permutation, starting from the worst-case all-rank-1
 /// configuration.
-#[test]
-fn engines_agree_on_direct_collision_permutation_times() {
-    let n = 24usize;
-    // The last-collision phase is heavy-tailed, so the mean needs more
-    // samples than the other observables to settle.
-    let trials = 48u64;
-    let sample = |batched: bool| -> Vec<f64> {
-        (0..trials)
-            .map(|trial| {
-                let seed = derive_seed(BASE_SEED ^ 0xD1, trial);
-                let protocol = DirectCollisionSsle::new(n);
-                let out = if batched {
+fn direct_collision_samples(engine: Engine, n: usize, trials: u64) -> Vec<f64> {
+    (0..trials)
+        .map(|trial| {
+            let seed = derive_seed(BASE_SEED ^ 0xD1, trial);
+            let protocol = DirectCollisionSsle::new(n);
+            let permutation_counts = |c: &CountConfiguration| c.counts().iter().all(|&c| c == 1);
+            let out = match engine {
+                Engine::Batched => {
                     let mut sim = BatchSimulation::clean(protocol, seed);
-                    sim.run_until(|c| c.counts().iter().all(|&c| c == 1), u64::MAX)
-                } else {
+                    sim.run_until(permutation_counts, u64::MAX)
+                }
+                Engine::MultiBatch => {
+                    let mut sim = MultiBatchSimulation::clean(protocol, seed);
+                    sim.run_until(permutation_counts, u64::MAX)
+                }
+                Engine::PerStep => {
                     let mut sim = Simulation::new(protocol, Configuration::clean(&protocol), seed);
                     sim.run_until(
                         |c| {
@@ -126,19 +150,40 @@ fn engines_agree_on_direct_collision_permutation_times() {
                         },
                         u64::MAX,
                     )
-                };
-                assert!(out.satisfied);
-                out.interactions as f64
-            })
-            .collect()
-    };
-    let (per_step, batched) = (sample(false), sample(true));
+                }
+            };
+            assert!(out.satisfied);
+            out.interactions as f64
+        })
+        .collect()
+}
+
+#[test]
+fn engines_agree_on_direct_collision_permutation_times() {
+    // The last-collision phase is heavy-tailed, so the mean needs more
+    // samples than the other observables to settle.
+    let (n, trials) = (24usize, 48u64);
+    let per_step = direct_collision_samples(Engine::PerStep, n, trials);
+    let batched = direct_collision_samples(Engine::Batched, n, trials);
     // 48 samples per engine: the KS 1% critical value is ≈ 0.33; the
     // observed statistics (3.6% mean difference, KS 0.083) sit far inside.
     assert_distributions_agree(
         "direct-collision permutation time",
         &per_step,
         &batched,
+        0.20,
+        0.33,
+    );
+    // Multi-batch arm: the all-rank-1 start is the engine's showcase — the
+    // whole diagonal is active, so batched degenerates to one transition per
+    // draw while multi-batch resolves Θ(√n) interactions at once. The
+    // permutation time is observed at epoch commits (granularity ≈ √24 ≈ 5
+    // interactions on a mean of several hundred).
+    let multibatch = direct_collision_samples(Engine::MultiBatch, n, trials);
+    assert_distributions_agree(
+        "direct-collision permutation time (multi-batch)",
+        &per_step,
+        &multibatch,
         0.20,
         0.33,
     );
@@ -184,18 +229,15 @@ fn engines_agree_on_loose_le_recovery_times() {
 /// runs under `BatchSimulation` via `DiscoveredProtocol` — with no up-front
 /// `|Q|²` enumeration — and its stabilization-time distribution matches the
 /// per-step engine's.
-#[test]
-fn engines_agree_on_elect_leader_stabilization_times() {
-    let (n, r) = (12usize, 3usize);
-    let trials = 16u64;
-    let sample = |batched: bool| -> Vec<f64> {
-        (0..trials)
-            .map(|trial| {
-                let seed = derive_seed(BASE_SEED ^ 0xE1, trial);
-                let protocol = ElectLeader::with_n_r(n, r).expect("valid parameters");
-                let budget = protocol.params().suggested_budget();
-                let opts = StabilizationOptions::new(n, budget);
-                let result = if batched {
+fn elect_leader_samples(engine: Engine, n: usize, r: usize, trials: u64) -> Vec<f64> {
+    (0..trials)
+        .map(|trial| {
+            let seed = derive_seed(BASE_SEED ^ 0xE1, trial);
+            let protocol = ElectLeader::with_n_r(n, r).expect("valid parameters");
+            let budget = protocol.params().suggested_budget();
+            let opts = StabilizationOptions::new(n, budget);
+            let result = match engine {
+                Engine::Batched => {
                     let discovered = DiscoveredProtocol::new(protocol);
                     let handle = discovered.clone();
                     let mut sim = BatchSimulation::clean(discovered, seed);
@@ -203,22 +245,59 @@ fn engines_agree_on_elect_leader_stabilization_times() {
                         |c| output::is_correct_output_counts(&handle, c),
                         opts,
                     )
-                } else {
+                }
+                Engine::MultiBatch => {
+                    let discovered = DiscoveredProtocol::new(protocol);
+                    let handle = discovered.clone();
+                    let mut sim = MultiBatchSimulation::clean(discovered, seed);
+                    sim.measure_stabilization(
+                        |c| output::is_correct_output_counts(&handle, c),
+                        opts,
+                    )
+                }
+                Engine::PerStep => {
                     let config = Configuration::clean(&protocol);
                     let mut sim = Simulation::new(protocol, config, seed);
                     sim.measure_stabilization(output::is_correct_output, opts)
-                };
-                result.stabilized_at.expect("instance stabilizes") as f64
-            })
-            .collect()
-    };
-    let (per_step, batched) = (sample(false), sample(true));
+                }
+            };
+            result.stabilized_at.expect("instance stabilizes") as f64
+        })
+        .collect()
+}
+
+#[test]
+fn engines_agree_on_elect_leader_stabilization_times() {
+    let (n, r) = (12usize, 3usize);
+    let trials = 16u64;
+    let per_step = elect_leader_samples(Engine::PerStep, n, r, trials);
+    let batched = elect_leader_samples(Engine::Batched, n, r, trials);
     // 16 samples per engine: KS 1% critical ≈ 0.58; stabilization times have
     // a ~15% coefficient of variation, so a 25% mean tolerance is > 4σ.
     assert_distributions_agree(
         "ElectLeader_r stabilization time",
         &per_step,
         &batched,
+        0.25,
+        0.58,
+    );
+}
+
+/// Acceptance check of the multi-batch engine on the paper's own protocol:
+/// `ElectLeader_r` runs under `MultiBatchSimulation` via
+/// `DiscoveredProtocol` — randomized ranking draws take the blind path,
+/// deterministic ticks batch through the memoized supports — and its
+/// stabilization-time distribution matches the per-step engine's.
+#[test]
+fn multibatch_agrees_on_elect_leader_stabilization_times() {
+    let (n, r) = (12usize, 3usize);
+    let trials = 16u64;
+    let per_step = elect_leader_samples(Engine::PerStep, n, r, trials);
+    let multibatch = elect_leader_samples(Engine::MultiBatch, n, r, trials);
+    assert_distributions_agree(
+        "ElectLeader_r stabilization time (multi-batch)",
+        &per_step,
+        &multibatch,
         0.25,
         0.58,
     );
@@ -258,6 +337,40 @@ fn batched_trajectory_snapshot_is_stable() {
     assert_eq!(sim.counts().counts(), &[0, 256]);
     assert_eq!(sim.active_interactions(), 255);
     assert_eq!(out.interactions, 3_143, "trajectory snapshot moved");
+}
+
+#[test]
+fn multibatch_fixed_seed_reproduces_the_exact_trajectory() {
+    let run = |seed: u64| -> (u64, u64, CountConfiguration) {
+        let protocol = OneWayEpidemic::new(N, 1);
+        let mut sim = MultiBatchSimulation::clean(protocol, seed);
+        let out = sim.run_until(|c| c.count(1) == c.population(), u64::MAX);
+        assert!(out.satisfied);
+        (out.interactions, sim.epochs(), sim.counts().clone())
+    };
+    let (interactions, epochs, counts) = run(123);
+    let (interactions2, epochs2, counts2) = run(123);
+    assert_eq!(interactions, interactions2);
+    assert_eq!(epochs, epochs2);
+    assert_eq!(counts, counts2);
+    assert_ne!(run(124).0, interactions, "different seeds must diverge");
+}
+
+/// Snapshot of one full multi-batch trajectory — the analogue of the
+/// 3143-interaction batched snapshot above: a refactor of the engine, the
+/// hypergeometric/multinomial samplers, the collision-length table, or the
+/// RNG that changes any draw will move these constants. Update them only for
+/// *intentional* trajectory-affecting changes, and say so in the commit
+/// message.
+#[test]
+fn multibatch_trajectory_snapshot_is_stable() {
+    let protocol = OneWayEpidemic::new(256, 1);
+    let mut sim = MultiBatchSimulation::clean(protocol, 42);
+    let out = sim.run_until(|c| c.count(1) == c.population(), u64::MAX);
+    assert!(out.satisfied);
+    assert_eq!(sim.counts().counts(), &[0, 256]);
+    assert_eq!(out.interactions, 3_065, "trajectory snapshot moved");
+    assert_eq!(sim.epochs(), 284, "epoch-count snapshot moved");
 }
 
 /// The count representation and the per-agent representation describe the

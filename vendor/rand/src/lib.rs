@@ -287,6 +287,287 @@ pub mod distributions {
         }
     }
 
+    /// Number of exact `ln m!` values precomputed once per process.
+    const LN_FACTORIAL_TABLE: usize = 1024;
+
+    /// `ln m!`: a lazily built lookup table for `m < 1024`, the Stirling
+    /// series (three correction terms, absolute error below `1e-17` in this
+    /// range) beyond. This is the [`Hypergeometric`] sampler's hot helper —
+    /// three binomial coefficients anchor every sample's starting pmf — so
+    /// it avoids a general-purpose `ln Γ` in favor of the integer-only case.
+    fn ln_factorial(m: u64) -> f64 {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+        let table = TABLE.get_or_init(|| {
+            let mut table = Vec::with_capacity(LN_FACTORIAL_TABLE);
+            let mut acc = 0.0f64;
+            table.push(0.0);
+            for i in 1..LN_FACTORIAL_TABLE as u64 {
+                acc += (i as f64).ln();
+                table.push(acc);
+            }
+            table
+        });
+        if let Some(&exact) = table.get(m as usize) {
+            return exact;
+        }
+        // Stirling: ln m! = (m + ½)·ln m − m + ½·ln 2π + 1/(12m) − 1/(360m³)
+        // + 1/(1260m⁵) + O(m⁻⁷).
+        let x = m as f64;
+        let inv = 1.0 / x;
+        let inv2 = inv * inv;
+        (x + 0.5) * x.ln() - x
+            + 0.5 * (2.0 * core::f64::consts::PI).ln()
+            + inv * (1.0 / 12.0 - inv2 * (1.0 / 360.0 - inv2 / 1260.0))
+    }
+
+    /// `ln C(n, r)` via [`ln_factorial`]; exact enough (~1e-13 relative) for
+    /// the inverse-transform starting points below.
+    fn ln_choose(n: u64, r: u64) -> f64 {
+        debug_assert!(r <= n);
+        ln_factorial(n) - ln_factorial(r) - ln_factorial(n - r)
+    }
+
+    /// The hypergeometric distribution: the number of *successes* when
+    /// drawing `draws` items **without replacement** from an urn of `total`
+    /// items of which `successes` are successes. Support
+    /// `max(0, draws + successes − total) ..= min(draws, successes)`, mean
+    /// `draws · successes / total`.
+    ///
+    /// Sampling is by inverse transform, started at the distribution's mode
+    /// (whose probability is computed once through [`ln_factorial`]) and expanded
+    /// outward with the exact pmf ratio recurrences. This visits an expected
+    /// `O(σ + 1)` support points per sample and never underflows the way a
+    /// from-zero cumulative scan would, so it stays exact-in-`f64` even for
+    /// the million-agent urns the multi-batch simulation engine draws from.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Hypergeometric {
+        total: u64,
+        successes: u64,
+        draws: u64,
+    }
+
+    impl Hypergeometric {
+        /// Creates the distribution for `draws` draws from an urn of `total`
+        /// items with `successes` successes. Fails if `successes` or `draws`
+        /// exceeds `total`.
+        pub fn new(total: u64, successes: u64, draws: u64) -> Result<Self, ParameterError> {
+            if successes > total || draws > total {
+                return Err(ParameterError(
+                    "hypergeometric successes and draws must not exceed the urn size",
+                ));
+            }
+            Ok(Hypergeometric {
+                total,
+                successes,
+                draws,
+            })
+        }
+
+        /// The urn size `N`.
+        pub fn total(&self) -> u64 {
+            self.total
+        }
+
+        /// The number of successes `K` in the urn.
+        pub fn successes(&self) -> u64 {
+            self.successes
+        }
+
+        /// The number of draws `k`.
+        pub fn draws(&self) -> u64 {
+            self.draws
+        }
+
+        /// Smallest possible sample value, `max(0, draws + successes − total)`.
+        pub fn support_min(&self) -> u64 {
+            (self.draws + self.successes).saturating_sub(self.total)
+        }
+
+        /// Largest possible sample value, `min(draws, successes)`.
+        pub fn support_max(&self) -> u64 {
+            self.draws.min(self.successes)
+        }
+
+        /// `pmf(x + 1) / pmf(x)`.
+        fn ratio_up(&self, x: u64) -> f64 {
+            let (n, k, s) = (self.total as f64, self.draws as f64, self.successes as f64);
+            let x = x as f64;
+            ((s - x) * (k - x)) / ((x + 1.0) * (n - s - k + x + 1.0))
+        }
+
+        /// `pmf(x − 1) / pmf(x)`.
+        fn ratio_down(&self, x: u64) -> f64 {
+            let (n, k, s) = (self.total as f64, self.draws as f64, self.successes as f64);
+            let x = x as f64;
+            (x * (n - s - k + x)) / ((s - x + 1.0) * (k - x + 1.0))
+        }
+    }
+
+    impl Distribution<u64> for Hypergeometric {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            let lo = self.support_min();
+            let hi = self.support_max();
+            if lo == hi {
+                return lo;
+            }
+            // Mode of the distribution, clamped into the support.
+            let mode = (((self.draws + 1) as f64 * (self.successes + 1) as f64
+                / (self.total + 2) as f64) as u64)
+                .clamp(lo, hi);
+            let ln_pmf_mode = ln_choose(self.successes, mode)
+                + ln_choose(self.total - self.successes, self.draws - mode)
+                - ln_choose(self.total, self.draws);
+            let p_mode = ln_pmf_mode.exp();
+            // Inverse transform in a mode-centered order: each support point
+            // owns an interval of length pmf(x); the assignment of intervals
+            // to points is fixed by the parameters (never by the uniform
+            // draw), so this is an exact sampler with O(σ) expected steps.
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let mut acc = p_mode;
+            if u < acc {
+                return mode;
+            }
+            let (mut lo_x, mut hi_x) = (mode, mode);
+            let (mut lo_p, mut hi_p) = (p_mode, p_mode);
+            loop {
+                let up = if hi_x < hi {
+                    Some(hi_p * self.ratio_up(hi_x))
+                } else {
+                    None
+                };
+                let down = if lo_x > lo {
+                    Some(lo_p * self.ratio_down(lo_x))
+                } else {
+                    None
+                };
+                // Visit the heavier neighbor first, so the expected number of
+                // steps tracks the distance from the mode.
+                let take_up = match (up, down) {
+                    (Some(u_p), Some(d_p)) => u_p >= d_p,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    // Whole support scanned and `u` still not covered: float
+                    // rounding left a sliver of mass; return the far tail.
+                    (None, None) => return hi_x,
+                };
+                if take_up {
+                    hi_x += 1;
+                    hi_p = up.expect("guarded by take_up");
+                    acc += hi_p;
+                    if u < acc {
+                        return hi_x;
+                    }
+                } else {
+                    lo_x -= 1;
+                    lo_p = down.expect("guarded by !take_up");
+                    acc += lo_p;
+                    if u < acc {
+                        return lo_x;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Splits `trials` multinomial trials over the outcome `weights`
+    /// (non-negative, not all zero) by sequential binomial draws: entry `i`
+    /// of the result is the number of trials that chose outcome `i`, and the
+    /// entries sum to `trials`.
+    ///
+    /// This is the batch analogue of sampling one categorical outcome
+    /// `trials` times — the multi-batch engine uses it to resolve every
+    /// same-state-pair interaction of a batch with `O(#outcomes)` draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero while `trials > 0`.
+    pub fn multinomial_split<R: RngCore + ?Sized>(
+        trials: u64,
+        weights: &[f64],
+        rng: &mut R,
+    ) -> Vec<u64> {
+        assert!(!weights.is_empty(), "need at least one outcome");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let mut remaining_weight: f64 = weights.iter().sum();
+        assert!(
+            remaining_weight > 0.0 || trials == 0,
+            "weights must not all be zero"
+        );
+        let mut remaining = trials;
+        let mut out = Vec::with_capacity(weights.len());
+        for (index, &w) in weights.iter().enumerate() {
+            if remaining == 0 {
+                out.push(0);
+                continue;
+            }
+            let p = (w / remaining_weight).min(1.0);
+            let draw = if index + 1 == weights.len() || p >= 1.0 {
+                remaining
+            } else {
+                Binomial { n: remaining, p }.sample(rng)
+            };
+            out.push(draw);
+            remaining -= draw;
+            remaining_weight -= w;
+        }
+        debug_assert_eq!(out.iter().sum::<u64>(), trials);
+        out
+    }
+
+    /// Draws `draws` items without replacement from an urn described by a
+    /// count vector (`counts[i]` items of color `i`) by sequential
+    /// [`Hypergeometric`] draws: entry `i` of the result is the number of
+    /// drawn items of color `i`, and the entries sum to `draws`.
+    ///
+    /// This is the multivariate hypergeometric distribution — the exact law
+    /// of "which states do `draws` distinct agents sampled from this count
+    /// configuration hold", which is what the multi-batch simulation engine
+    /// asks per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `draws` exceeds the urn size `counts.iter().sum()`.
+    pub fn hypergeometric_split<R: RngCore + ?Sized>(
+        counts: &[u64],
+        draws: u64,
+        rng: &mut R,
+    ) -> Vec<u64> {
+        let mut remaining_urn: u64 = counts.iter().sum();
+        assert!(
+            draws <= remaining_urn,
+            "cannot draw {draws} items from an urn of {remaining_urn}"
+        );
+        let mut remaining = draws;
+        let mut out = Vec::with_capacity(counts.len());
+        for &c in counts {
+            if remaining == 0 {
+                out.push(0);
+                continue;
+            }
+            remaining_urn -= c;
+            // Successes = this color, failures = every color after it.
+            let draw = if remaining_urn == 0 {
+                remaining
+            } else {
+                Hypergeometric {
+                    total: remaining_urn + c,
+                    successes: c,
+                    draws: remaining,
+                }
+                .sample(rng)
+            };
+            out.push(draw);
+            remaining -= draw;
+        }
+        debug_assert_eq!(out.iter().sum::<u64>(), draws);
+        out
+    }
+
     impl Distribution<u64> for Binomial {
         fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
             // Work with q = min(p, 1-p) and flip the count back at the end.
@@ -371,7 +652,9 @@ pub mod rngs {
 
 #[cfg(test)]
 mod tests {
-    use super::distributions::{Binomial, Distribution, Geometric};
+    use super::distributions::{
+        hypergeometric_split, multinomial_split, Binomial, Distribution, Geometric, Hypergeometric,
+    };
     use super::rngs::mock::StepRng;
     use super::{Rng, RngCore};
 
@@ -449,6 +732,114 @@ mod tests {
                 "Bin({n},{p}): mean {mean} vs expected {expected}"
             );
         }
+    }
+
+    #[test]
+    fn hypergeometric_rejects_invalid_parameters() {
+        assert!(Hypergeometric::new(10, 11, 5).is_err());
+        assert!(Hypergeometric::new(10, 5, 11).is_err());
+        let d = Hypergeometric::new(10, 4, 6).unwrap();
+        assert_eq!((d.total(), d.successes(), d.draws()), (10, 4, 6));
+        assert_eq!((d.support_min(), d.support_max()), (0, 4));
+    }
+
+    #[test]
+    fn hypergeometric_degenerate_cases_need_no_randomness() {
+        let mut rng = weyl();
+        // k = 0 draws nothing; k = N drains the urn; K = 0 and K = N are
+        // single-point supports as well.
+        assert_eq!(Hypergeometric::new(9, 4, 0).unwrap().sample(&mut rng), 0);
+        assert_eq!(Hypergeometric::new(9, 4, 9).unwrap().sample(&mut rng), 4);
+        assert_eq!(Hypergeometric::new(9, 0, 5).unwrap().sample(&mut rng), 0);
+        assert_eq!(Hypergeometric::new(9, 9, 5).unwrap().sample(&mut rng), 5);
+        // Forced overlap: drawing 8 of 9 with 6 successes must see >= 5.
+        assert_eq!(Hypergeometric::new(9, 9, 9).unwrap().support_min(), 9);
+    }
+
+    #[test]
+    fn hypergeometric_stays_in_support_and_tracks_mean() {
+        let mut rng = weyl();
+        for (total, successes, draws) in [(50u64, 20u64, 10u64), (1000, 700, 40), (64, 8, 60)] {
+            let d = Hypergeometric::new(total, successes, draws).unwrap();
+            let samples = 2000;
+            let mut sum = 0.0;
+            for _ in 0..samples {
+                let x = d.sample(&mut rng);
+                assert!(
+                    (d.support_min()..=d.support_max()).contains(&x),
+                    "Hyp({total},{successes},{draws}) sample {x} out of support"
+                );
+                sum += x as f64;
+            }
+            let mean = sum / samples as f64;
+            let expected = draws as f64 * successes as f64 / total as f64;
+            assert!(
+                (mean - expected).abs() < 0.1 * expected + 0.5,
+                "Hyp({total},{successes},{draws}): mean {mean} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn hypergeometric_matches_brute_force_pmf() {
+        // Exhaustive comparison on a small urn: empirical frequencies vs the
+        // exact pmf C(K,x)·C(N−K,k−x)/C(N,k).
+        let d = Hypergeometric::new(12, 5, 6).unwrap();
+        let mut rng = weyl();
+        let samples = 40_000;
+        let mut freq = [0u64; 6];
+        for _ in 0..samples {
+            freq[d.sample(&mut rng) as usize] += 1;
+        }
+        let choose =
+            |n: u64, r: u64| -> f64 { (0..r).map(|i| (n - i) as f64 / (i + 1) as f64).product() };
+        for (x, &f) in freq.iter().enumerate() {
+            let x = x as u64;
+            let pmf = choose(5, x) * choose(7, 6 - x) / choose(12, 6);
+            let observed = f as f64 / samples as f64;
+            assert!(
+                (observed - pmf).abs() < 0.02,
+                "x = {x}: observed {observed} vs pmf {pmf}"
+            );
+        }
+    }
+
+    #[test]
+    fn multinomial_split_conserves_trials_and_respects_zero_weights() {
+        let mut rng = weyl();
+        for trials in [0u64, 1, 17, 400] {
+            let split = multinomial_split(trials, &[3.0, 0.0, 1.0, 2.0], &mut rng);
+            assert_eq!(split.len(), 4);
+            assert_eq!(split.iter().sum::<u64>(), trials);
+            assert_eq!(split[1], 0, "zero-weight outcome drew {}", split[1]);
+        }
+        // Single outcome takes everything.
+        assert_eq!(multinomial_split(9, &[0.25], &mut rng), vec![9]);
+    }
+
+    #[test]
+    fn hypergeometric_split_conserves_draws_and_bounds_by_counts() {
+        let mut rng = weyl();
+        let counts = [5u64, 0, 12, 3];
+        for draws in [0u64, 1, 10, 20] {
+            let split = hypergeometric_split(&counts, draws, &mut rng);
+            assert_eq!(split.len(), counts.len());
+            assert_eq!(split.iter().sum::<u64>(), draws);
+            for (i, (&got, &cap)) in split.iter().zip(&counts).enumerate() {
+                assert!(got <= cap, "color {i}: drew {got} of {cap}");
+            }
+        }
+        // Single-color urn: every draw is that color.
+        assert_eq!(hypergeometric_split(&[7], 7, &mut rng), vec![7]);
+        // Draining the urn returns the counts themselves.
+        assert_eq!(hypergeometric_split(&counts, 20, &mut rng), counts.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn hypergeometric_split_rejects_overdraws() {
+        let mut rng = weyl();
+        let _ = hypergeometric_split(&[2, 3], 6, &mut rng);
     }
 
     #[test]
