@@ -29,12 +29,12 @@
 //! `tests/integration_batched.rs` enforces with tolerances).
 
 use crate::runner::{run_trials, TrialOutcome};
-use crate::scale::{Engine, Scale};
+use crate::scale::{EngineKind, Scale};
 use crate::table::{fmt_f64, Table};
 use ppsim::rng::derive_seed;
 use ppsim::simulation::StabilizationOptions;
 use ppsim::stats::{ks_distance, log_log_slope};
-use ppsim::{BatchSimulation, Configuration, DiscoveredProtocol, MultiBatchSimulation, Simulation};
+use ppsim::{DiscoveredProtocol, SimBuilder};
 use ssle_core::{output, ElectLeader};
 use std::time::Instant;
 
@@ -58,32 +58,21 @@ const R_RULES: [RRule; 4] = [
     ("r = n/4", |n| n / 4),
 ];
 
-/// One `ElectLeader_r` stabilization trial under the chosen engine. The two
-/// count-based engines run through the dynamic state indexer (no up-front
-/// state enumeration).
-pub fn ssle_engine_trial(engine: Engine, n: usize, r: usize, seed: u64) -> TrialOutcome {
+/// One `ElectLeader_r` stabilization trial under the chosen engine. Every
+/// engine — the per-step tier included — runs through the dynamic state
+/// indexer and the unified [`ppsim::SimBuilder`] surface, so this function
+/// is one code path with no per-engine dispatch (the per-step tier maintains
+/// its count mirror over lazily interned states and evaluates the same
+/// count-space predicate as the count engines).
+pub fn ssle_engine_trial(engine: EngineKind, n: usize, r: usize, seed: u64) -> TrialOutcome {
     let protocol = ElectLeader::with_n_r(n, r).expect("sweep parameters are valid");
     let budget = protocol.params().suggested_budget();
     let opts = StabilizationOptions::new(n, budget);
-    let result = match engine {
-        Engine::Batched => {
-            let discovered = DiscoveredProtocol::new(protocol);
-            let handle = discovered.clone();
-            let mut sim = BatchSimulation::clean(discovered, seed);
-            sim.measure_stabilization(|c| output::is_correct_output_counts(&handle, c), opts)
-        }
-        Engine::MultiBatch => {
-            let discovered = DiscoveredProtocol::new(protocol);
-            let handle = discovered.clone();
-            let mut sim = MultiBatchSimulation::clean(discovered, seed);
-            sim.measure_stabilization(|c| output::is_correct_output_counts(&handle, c), opts)
-        }
-        Engine::PerStep => {
-            let config = Configuration::clean(&protocol);
-            let mut sim = Simulation::new(protocol, config, seed);
-            sim.measure_stabilization(output::is_correct_output, opts)
-        }
-    };
+    let discovered = DiscoveredProtocol::new(protocol);
+    let handle = discovered.clone();
+    let mut sim = SimBuilder::new(discovered).kind(engine).seed(seed).build();
+    let result =
+        sim.measure_stabilization(&mut |c| output::is_correct_output_counts(&handle, c), opts);
     TrialOutcome {
         stabilized: result.stabilized(),
         stabilized_at: result.stabilized_at,
@@ -158,10 +147,10 @@ pub fn e11_discovered_curves(scale: Scale) -> Table {
     let trials = scale.trials();
     // (engine label at r = n/4) -> (n, mean) points for the engine slopes;
     // (r rule) -> (n, mean) points for the surface slopes.
-    let mut engine_points: Vec<(Engine, Vec<(f64, f64)>)> = vec![
-        (Engine::Batched, Vec::new()),
-        (Engine::MultiBatch, Vec::new()),
-        (Engine::PerStep, Vec::new()),
+    let mut engine_points: Vec<(EngineKind, Vec<(f64, f64)>)> = vec![
+        (EngineKind::Batched, Vec::new()),
+        (EngineKind::MultiBatch, Vec::new()),
+        (EngineKind::PerStep, Vec::new()),
     ];
     let mut rule_points: Vec<(&str, Vec<(f64, f64)>)> = R_RULES
         .iter()
@@ -184,14 +173,14 @@ pub fn e11_discovered_curves(scale: Scale) -> Table {
             // long r = 1 cells); the batched and per-step engines join at
             // the fast-regime ratio, where the three-way cross-validation
             // happens.
-            let mut engines = vec![Engine::MultiBatch];
+            let mut engines = vec![EngineKind::MultiBatch];
             if r == fast_r {
-                engines.push(Engine::Batched);
+                engines.push(EngineKind::Batched);
                 if n <= scale.discovered_per_step_n_cap() {
-                    engines.push(Engine::PerStep);
+                    engines.push(EngineKind::PerStep);
                 }
             }
-            let mut samples_by_engine: Vec<(Engine, Vec<f64>)> = Vec::new();
+            let mut samples_by_engine: Vec<(EngineKind, Vec<f64>)> = Vec::new();
             for engine in engines {
                 let started = Instant::now();
                 let outcomes = run_trials(trials, base_seed, |seed| {
@@ -225,7 +214,7 @@ pub fn e11_discovered_curves(scale: Scale) -> Table {
                             .1
                             .push(point);
                     }
-                    if engine == Engine::MultiBatch {
+                    if engine == EngineKind::MultiBatch {
                         for (rule, points) in rule_points.iter_mut() {
                             let rule_fn = R_RULES
                                 .iter()
@@ -242,10 +231,10 @@ pub fn e11_discovered_curves(scale: Scale) -> Table {
             }
             if let Some((_, per_step)) = samples_by_engine
                 .iter()
-                .find(|(e, s)| *e == Engine::PerStep && !s.is_empty())
+                .find(|(e, s)| *e == EngineKind::PerStep && !s.is_empty())
             {
                 for (engine, samples) in &samples_by_engine {
-                    if *engine != Engine::PerStep && !samples.is_empty() {
+                    if *engine != EngineKind::PerStep && !samples.is_empty() {
                         overlap_notes.push(cross_validation_note(
                             engine.label(),
                             n,
@@ -309,14 +298,14 @@ mod tests {
 
     #[test]
     fn batched_trial_stabilizes_a_tiny_instance() {
-        let outcome = ssle_engine_trial(Engine::Batched, 12, sweep_r(12), 7);
+        let outcome = ssle_engine_trial(EngineKind::Batched, 12, sweep_r(12), 7);
         assert!(outcome.stabilized, "tiny clean instance must stabilize");
         assert!(outcome.parallel_time().unwrap() > 0.0);
     }
 
     #[test]
     fn multibatch_trial_stabilizes_a_tiny_instance() {
-        let outcome = ssle_engine_trial(Engine::MultiBatch, 12, sweep_r(12), 7);
+        let outcome = ssle_engine_trial(EngineKind::MultiBatch, 12, sweep_r(12), 7);
         assert!(outcome.stabilized, "tiny clean instance must stabilize");
         assert!(outcome.parallel_time().unwrap() > 0.0);
     }

@@ -1,10 +1,10 @@
-//! E10 — the engine scale sweep: batched vs multi-batch vs per-step
-//! epidemic throughput.
+//! E10 — the engine scale sweep: batched vs multi-batch vs adaptive vs
+//! per-step epidemic throughput.
 //!
 //! The ROADMAP's north star asks for stabilization-time curves at realistic
 //! scale (`n ≥ 10⁶`, `Θ(n · polylog n)` interactions), which the per-agent
 //! engine cannot reach: it pays for every interaction. This experiment runs
-//! the one-way epidemic to completion under all three engines across a grid
+//! the one-way epidemic to completion under every engine tier across a grid
 //! of population sizes and reports wall-clock throughput, making each
 //! engine's advantage (and any regression of it) visible as a table:
 //!
@@ -12,15 +12,20 @@
 //!   the epidemic, regardless of the `Θ(n log n)` total),
 //! * the **multi-batch** engine pays per `Θ(√n)`-interaction epoch
 //!   (`Θ(√n · log n)` epochs for the epidemic) — asymptotically the fastest
-//!   of the three on this workload, silence notwithstanding, because the
-//!   two-state count vector makes every epoch O(1).
+//!   fixed tier on this workload, silence notwithstanding, because the
+//!   two-state count vector makes every epoch O(1),
+//! * the **auto** engine ([`ppsim::AdaptiveSimulation`]) runs multi-batch
+//!   through the epidemic's dense middle and hands off to the batched engine
+//!   for the silent head and tail — its row is the adaptive engine's claim
+//!   to track (or beat) the faster fixed engine without being told which one
+//!   that is.
+//!
+//! All cells go through the unified `ppsim::engine` API — engine dispatch
+//! lives in [`ppsim::SimBuilder`], not here.
 
-use crate::scale::{Engine, Scale};
+use crate::scale::{EngineKind, Scale};
 use crate::table::{fmt_f64, Table};
-use ppsim::epidemic::{
-    measure_epidemic_time_batched, measure_epidemic_time_coarse, measure_epidemic_time_multibatch,
-    OneWayEpidemic,
-};
+use ppsim::epidemic::{measure_epidemic_time_with, OneWayEpidemic};
 use ppsim::rng::derive_seed;
 use std::time::Instant;
 
@@ -46,7 +51,7 @@ pub fn epidemic_throughput(
     n: usize,
     trials: usize,
     base_seed: u64,
-    engine: Engine,
+    engine: EngineKind,
 ) -> EngineThroughput {
     let nf = n as f64;
     let budget = (50.0 * nf * nf.ln().max(1.0)).ceil() as u64;
@@ -54,16 +59,7 @@ pub fn epidemic_throughput(
     let started = Instant::now();
     for trial in 0..trials {
         let seed = derive_seed(base_seed, trial as u64);
-        let protocol = OneWayEpidemic::new(n, 1);
-        let t = match engine {
-            Engine::Batched => measure_epidemic_time_batched(protocol, seed, budget),
-            Engine::MultiBatch => measure_epidemic_time_multibatch(protocol, seed, budget),
-            // Coarse completion checks (< 1% overshoot): an every-interaction
-            // O(n) predicate would measure the predicate, not the engine.
-            Engine::PerStep => {
-                measure_epidemic_time_coarse(protocol, seed, budget, (n as u64 / 8).max(256))
-            }
-        };
+        let t = measure_epidemic_time_with(OneWayEpidemic::new(n, 1), engine, seed, budget);
         total_interactions += t.expect("epidemic completes within 50 n ln n");
     }
     let elapsed_ms = started.elapsed().as_secs_f64() * 1_000.0;
@@ -76,7 +72,8 @@ pub fn epidemic_throughput(
 /// E10 — engine throughput on the one-way epidemic across population sizes.
 pub fn e10_engine_scale(scale: Scale) -> Table {
     let mut table = Table::new(
-        "E10 — engine scale sweep: batched vs multi-batch vs per-step epidemic throughput",
+        "E10 — engine scale sweep: batched vs multi-batch vs adaptive vs per-step epidemic \
+         throughput",
         &[
             "n",
             "engine",
@@ -91,7 +88,7 @@ pub fn e10_engine_scale(scale: Scale) -> Table {
     let mut speedup_notes: Vec<String> = Vec::new();
     for &n in &scale.batched_n_values() {
         let base_seed = derive_seed(scale.base_seed() ^ 0xE10, n as u64);
-        let mut wall_by_engine: Vec<(Engine, f64)> = Vec::new();
+        let mut wall_by_engine: Vec<(EngineKind, f64)> = Vec::new();
         for engine in scale.e10_engines(n) {
             let m = epidemic_throughput(n, trials, base_seed, engine);
             table.push_row([
@@ -105,17 +102,18 @@ pub fn e10_engine_scale(scale: Scale) -> Table {
             ]);
             wall_by_engine.push((engine, m.mean_wall_ms));
         }
-        let wall = |engine: Engine| -> Option<f64> {
+        let wall = |engine: EngineKind| -> Option<f64> {
             wall_by_engine
                 .iter()
                 .find(|&&(e, _)| e == engine)
                 .map(|&(_, w)| w)
         };
-        let (batched, multibatch) = (
-            wall(Engine::Batched).expect("batched always runs"),
-            wall(Engine::MultiBatch).expect("multibatch always runs"),
+        let (batched, multibatch, auto) = (
+            wall(EngineKind::Batched).expect("batched always runs"),
+            wall(EngineKind::MultiBatch).expect("multibatch always runs"),
+            wall(EngineKind::Auto).expect("auto always runs"),
         );
-        if let Some(per_step) = wall(Engine::PerStep) {
+        if let Some(per_step) = wall(EngineKind::PerStep) {
             speedup_notes.push(format!(
                 "n = {n}: batched engine {:.1}× faster wall-clock than per-step",
                 per_step / batched.max(1e-9)
@@ -133,6 +131,12 @@ pub fn e10_engine_scale(scale: Scale) -> Table {
                 1.0 / ratio
             )
         });
+        let faster_fixed = batched.min(multibatch);
+        speedup_notes.push(format!(
+            "n = {n}: auto engine at {:.2}× the faster fixed count engine's wall clock \
+             (≤ 1 means the adaptive handoffs beat both fixed tiers)",
+            auto / faster_fixed.max(1e-9)
+        ));
     }
     for note in speedup_notes {
         table.push_note(note);
@@ -141,8 +145,9 @@ pub fn e10_engine_scale(scale: Scale) -> Table {
         "Expected shape: per-step throughput is flat in n; batched throughput grows like the \
          interactions-per-state-change ratio 2 ln n; multi-batch throughput grows like the \
          epoch length ≈ 0.63·√n (every epoch of the two-state epidemic costs O(1)), so its \
-         advantage over batched widens with n. All engines report completion interactions near \
-         2 n ln n."
+         advantage over batched widens with n; the auto engine tracks the faster fixed tier per \
+         activity phase (batched through the silent head/tail, multi-batch through the dense \
+         middle). All engines report completion interactions near 2 n ln n."
             .to_string(),
     );
     table
@@ -154,7 +159,12 @@ mod tests {
 
     #[test]
     fn throughput_measures_sane_values() {
-        for engine in [Engine::PerStep, Engine::Batched, Engine::MultiBatch] {
+        for engine in [
+            EngineKind::PerStep,
+            EngineKind::Batched,
+            EngineKind::MultiBatch,
+            EngineKind::Auto,
+        ] {
             let m = epidemic_throughput(512, 2, 3, engine);
             let nf = 512f64;
             // Completion near 2 n ln n, within loose Monte-Carlo bounds.
@@ -171,6 +181,7 @@ mod tests {
         let ns = Scale::Tiny.batched_n_values().len();
         assert_eq!(count("batched"), ns);
         assert_eq!(count("multibatch"), ns);
+        assert_eq!(count("auto"), ns);
         assert!(count("per-step") >= 1, "the comparison rows must exist");
         for row in &table.rows {
             let interactions: f64 = row[3].parse().unwrap();
@@ -180,6 +191,14 @@ mod tests {
             table.notes.iter().any(|n| n.contains("multi-batch engine")
                 && (n.contains("faster") || n.contains("slower"))),
             "multi-batch duel notes missing: {:?}",
+            table.notes
+        );
+        assert!(
+            table
+                .notes
+                .iter()
+                .any(|n| n.contains("auto engine") && n.contains("faster fixed")),
+            "auto-vs-fixed notes missing: {:?}",
             table.notes
         );
     }

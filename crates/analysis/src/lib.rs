@@ -22,5 +22,7 @@ pub mod scale;
 pub mod table;
 
 pub use runner::{run_trials, summarize_trials, TrialOutcome, TrialSummary};
-pub use scale::{Engine, Scale};
+#[allow(deprecated)]
+pub use scale::Engine;
+pub use scale::{EngineKind, Scale};
 pub use table::Table;

@@ -7,35 +7,14 @@
 
 use serde::Serialize;
 
-/// The simulation engine an experiment cell runs under.
-///
-/// Engine selection lives next to [`Scale`] because the two answer the same
-/// question — "how should this cell be executed?" — and the scale caps decide
-/// which engines are affordable at which population sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
-pub enum Engine {
-    /// The per-agent engine ([`ppsim::Simulation`]): pays for every
-    /// interaction, works for any state type.
-    PerStep,
-    /// The batched count-based engine ([`ppsim::BatchSimulation`]): skips
-    /// silent runs geometrically, pays per state-changing interaction.
-    Batched,
-    /// The multi-batch collision sampler ([`ppsim::MultiBatchSimulation`]):
-    /// resolves `Θ(√n)`-interaction batches per statistical draw, pays per
-    /// epoch regardless of how many interactions change state.
-    MultiBatch,
-}
+pub use ppsim::EngineKind;
 
-impl Engine {
-    /// The engine's name as used in experiment-table rows.
-    pub fn label(self) -> &'static str {
-        match self {
-            Engine::PerStep => "per-step",
-            Engine::Batched => "batched",
-            Engine::MultiBatch => "multibatch",
-        }
-    }
-}
+/// Deprecated alias: engine selection is no longer experiment-harness
+/// policy — it moved into `ppsim::engine` so every caller (experiments,
+/// tests, benches, examples) picks engines through the same
+/// [`ppsim::SimBuilder`] surface.
+#[deprecated(note = "use ppsim::EngineKind — engine policy moved to ppsim::engine")]
+pub type Engine = EngineKind;
 
 /// How large an experiment run should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -139,12 +118,18 @@ impl Scale {
     }
 
     /// The engines the E10 scale sweep runs at population size `n`: both
-    /// count-based engines always (their duel is the point of the
-    /// experiment), the per-step engine up to [`Scale::per_step_n_cap`].
-    pub fn e10_engines(self, n: usize) -> Vec<Engine> {
-        let mut engines = vec![Engine::Batched, Engine::MultiBatch];
+    /// count-based engines and the adaptive `Auto` tier always (the fixed
+    /// engines' duel plus the adaptive engine's claim to match the winner
+    /// are the point of the experiment), the per-step engine up to
+    /// [`Scale::per_step_n_cap`].
+    pub fn e10_engines(self, n: usize) -> Vec<EngineKind> {
+        let mut engines = vec![
+            EngineKind::Batched,
+            EngineKind::MultiBatch,
+            EngineKind::Auto,
+        ];
         if n <= self.per_step_n_cap() {
-            engines.insert(0, Engine::PerStep);
+            engines.insert(0, EngineKind::PerStep);
         }
         engines
     }
@@ -267,14 +252,15 @@ mod tests {
     }
 
     #[test]
-    fn e10_engines_always_include_both_count_engines() {
+    fn e10_engines_always_include_count_engines_and_auto() {
         for scale in [Scale::Tiny, Scale::Quick, Scale::Full] {
             for &n in &scale.batched_n_values() {
                 let engines = scale.e10_engines(n);
-                assert!(engines.contains(&Engine::Batched));
-                assert!(engines.contains(&Engine::MultiBatch));
+                assert!(engines.contains(&EngineKind::Batched));
+                assert!(engines.contains(&EngineKind::MultiBatch));
+                assert!(engines.contains(&EngineKind::Auto));
                 assert_eq!(
-                    engines.contains(&Engine::PerStep),
+                    engines.contains(&EngineKind::PerStep),
                     n <= scale.per_step_n_cap()
                 );
             }
@@ -282,16 +268,12 @@ mod tests {
     }
 
     #[test]
-    fn engine_labels_are_distinct() {
-        let labels = [
-            Engine::PerStep.label(),
-            Engine::Batched.label(),
-            Engine::MultiBatch.label(),
-        ];
-        let mut dedup = labels.to_vec();
-        dedup.sort_unstable();
-        dedup.dedup();
-        assert_eq!(dedup.len(), labels.len());
+    fn deprecated_engine_alias_still_resolves() {
+        // The shim keeps downstream code compiling while engine policy lives
+        // in ppsim; internal code uses EngineKind directly.
+        #[allow(deprecated)]
+        let legacy: Engine = EngineKind::Batched;
+        assert_eq!(legacy, EngineKind::Batched);
     }
 
     #[test]

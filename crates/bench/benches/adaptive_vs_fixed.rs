@@ -1,0 +1,114 @@
+//! Guard bench for the adaptive `Auto` engine: adaptive vs both fixed
+//! count-based engines, through the unified `ppsim::engine` API.
+//!
+//! Three workloads pin the adaptive engine's claim — *within 10% of the
+//! faster fixed engine, never slower than the slower one*:
+//!
+//! * **dense** epidemic at `n = 10⁶` (half the population informed): the
+//!   multi-batch engine's home turf. The adaptive engine must ride
+//!   multi-batch through the dense middle and is allowed to beat it by
+//!   handing the silent tail to the batched engine's geometric skipping;
+//! * **sparse** epidemic at `n = 10⁶` (one source): starts and ends almost
+//!   fully silent. The adaptive engine must start batched, switch to
+//!   multi-batch only through the active middle, and switch back;
+//! * one **`ElectLeader_r`** cell via the dynamic state indexer: nearly
+//!   every pre-stabilization interaction is state-changing (multi-batch
+//!   territory) while the post-stabilization confirmation window is pure
+//!   silence (batched territory) — the adaptive engine gets both phases.
+//!
+//! A regression of the switching policy (thresholds, check cadence, handoff
+//! cost) shows up as the `auto` rows drifting off the faster fixed rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppsim::epidemic::{OneWayEpidemic, INFORMED};
+use ppsim::simulation::StabilizationOptions;
+use ppsim::{DiscoveredProtocol, EngineKind, SimBuilder};
+use ssle_core::{output, ElectLeader};
+use std::time::Duration;
+
+const ENGINES: [EngineKind; 3] = [
+    EngineKind::Batched,
+    EngineKind::MultiBatch,
+    EngineKind::Auto,
+];
+
+fn budget(n: usize) -> u64 {
+    let nf = n as f64;
+    (50.0 * nf * nf.ln()).ceil() as u64
+}
+
+fn complete_epidemic(kind: EngineKind, n: usize, sources: usize, seed: u64) -> u64 {
+    let mut sim = SimBuilder::new(OneWayEpidemic::new(n, sources))
+        .kind(kind)
+        .seed(seed)
+        .build();
+    let out = sim.run_until(&mut |c| c.count(INFORMED) == c.population(), budget(n));
+    assert!(out.satisfied);
+    out.interactions
+}
+
+fn stabilize_elect_leader(kind: EngineKind, n: usize, r: usize, seed: u64) -> u64 {
+    let protocol = ElectLeader::with_n_r(n, r).expect("valid parameters");
+    let budget = protocol.params().suggested_budget();
+    let opts = StabilizationOptions::new(n, budget);
+    let discovered = DiscoveredProtocol::new(protocol);
+    let handle = discovered.clone();
+    let mut sim = SimBuilder::new(discovered).kind(kind).seed(seed).build();
+    let result =
+        sim.measure_stabilization(&mut |c| output::is_correct_output_counts(&handle, c), opts);
+    result.stabilized_at.expect("instance stabilizes")
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let n = 1_000_000usize;
+
+    let mut group = c.benchmark_group("adaptive_dense_epidemic");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    for kind in ENGINES {
+        group.bench_with_input(BenchmarkId::new(kind.label(), n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                complete_epidemic(kind, n, n / 2, seed)
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("adaptive_sparse_epidemic");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    for kind in ENGINES {
+        group.bench_with_input(BenchmarkId::new(kind.label(), n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                complete_epidemic(kind, n, 1, seed)
+            });
+        });
+    }
+    group.finish();
+
+    let (n, r) = (24usize, 6usize);
+    let mut group = c.benchmark_group("adaptive_elect_leader");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    for kind in ENGINES {
+        group.bench_with_input(
+            BenchmarkId::new(kind.label(), format!("n{n}_r{r}")),
+            &n,
+            |b, _| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    stabilize_elect_leader(kind, n, r, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive);
+criterion_main!(benches);

@@ -580,6 +580,28 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
         self.interactions as f64 / self.counts.population() as f64
     }
 
+    /// The probability that the next uniformly random ordered pair is
+    /// *non-silent* — the engine's exact, O(1) measure of current activity
+    /// (the weight of the occupied non-silent pairs over all `n(n−1)`
+    /// ordered pairs). [`crate::AdaptiveSimulation`] reads this to decide
+    /// when the batched engine should hand off to the multi-batch engine.
+    pub fn active_fraction(&self) -> f64 {
+        let n = self.counts.population();
+        self.pairs.total_weight() as f64 / (n * (n - 1)) as f64
+    }
+
+    /// Decomposes the simulation into its protocol and current count
+    /// configuration, discarding the RNG and the pair index.
+    ///
+    /// This is the engine-handoff primitive used by
+    /// [`crate::AdaptiveSimulation`]: the counts seed another engine exactly
+    /// where this one stopped. The interaction counter is *not* carried —
+    /// the adaptive engine keeps absolute indices by summing retired
+    /// engines' counters.
+    pub fn into_parts(self) -> (P, CountConfiguration) {
+        (self.protocol, self.counts)
+    }
+
     /// Grows the count vector and pair index when the protocol discovered
     /// new states (a no-op for statically enumerated protocols).
     fn sync_state_space(&mut self) {

@@ -1,0 +1,1451 @@
+//! The unified engine API: one trait over every simulation engine, a
+//! builder that replaces per-engine constructor plumbing, and the adaptive
+//! auto-switching engine.
+//!
+//! `ppsim` grew three engines — the per-agent [`Simulation`], the silent-run
+//! skipping [`BatchSimulation`], and the collision-sampling
+//! [`MultiBatchSimulation`] — that share their `run` / `run_until` /
+//! `measure_stabilization` surface only by convention, leaving every caller
+//! to hand-dispatch over an engine enum. This module makes the convention a
+//! contract:
+//!
+//! * [`SimulationEngine`] — the shared surface as an object-safe trait, with
+//!   predicates over [`CountConfiguration`] (the representation every engine
+//!   can serve) and an explicit [`SimulationEngine::predicate_granularity`]
+//!   so callers can see *when* their predicate is actually observed,
+//! * [`EngineKind`] — the engine selector, including the [`EngineKind::Auto`]
+//!   tier,
+//! * [`SimBuilder`] — protocol + init + seed + kind → boxed engine, replacing
+//!   the ad-hoc `new` / `from_configuration` / `clean` constructor trio at
+//!   call sites,
+//! * [`PerStepEngine`] — the per-agent engine behind the count-predicate
+//!   surface: a [`Simulation`] plus an incrementally maintained count mirror
+//!   (two `encode` calls per interaction), so per-step runs serve the same
+//!   predicates as the count engines at O(1) per check,
+//! * [`AdaptiveSimulation`] — the `Auto` tier: runs the multi-batch engine
+//!   while the measured active-interaction fraction is high and hands the
+//!   count vector off to the batched engine (and back) at a hysteresis
+//!   threshold, preserving exact budget accounting and absolute interaction
+//!   indices across the handoff.
+//!
+//! # Predicate granularity
+//!
+//! The engines observe stop/stabilization predicates at different points,
+//! and this is the **one** place the contract is written down:
+//!
+//! * [`BatchSimulation`] evaluates predicates after every state-changing
+//!   interaction — exact, because silent interactions cannot change the
+//!   configuration ([`PredicateGranularity::Interaction`]).
+//! * [`PerStepEngine`] evaluates predicates every `check_every` interactions
+//!   ([`PredicateGranularity::Every`]): hitting times overshoot by less than
+//!   the stride. This is the coarse-checking contract that
+//!   [`crate::epidemic::measure_epidemic_time_coarse`] exposes for epidemic
+//!   workloads, routed through this engine.
+//! * [`MultiBatchSimulation`] evaluates predicates at epoch commits — the
+//!   interactions inside an epoch have no defined intermediate order — so
+//!   hitting times carry `O(√n)` observation granularity
+//!   ([`PredicateGranularity::EpochCommit`]).
+//! * [`AdaptiveSimulation`] reports the granularity of whichever engine is
+//!   currently active.
+//!
+//! `StabilizationOptions::check_every` is honored by the per-step engine
+//! only; the count engines already observe at their intrinsic granularity
+//! (see the table above) and ignore it.
+//!
+//! # Quick example
+//!
+//! ```
+//! use ppsim::engine::{EngineKind, SimBuilder, SimulationEngine};
+//! use ppsim::epidemic::{OneWayEpidemic, INFORMED};
+//!
+//! // One entry point for every engine tier: pick a kind — or let `Auto`
+//! // switch between the count engines as activity rises and falls.
+//! let mut sim = SimBuilder::new(OneWayEpidemic::new(10_000, 1))
+//!     .seed(7)
+//!     .kind(EngineKind::Auto)
+//!     .build();
+//! let out = sim.run_until(&mut |c| c.count(INFORMED) == c.population(), u64::MAX);
+//! assert!(out.satisfied);
+//! assert_eq!(sim.counts().count(INFORMED), 10_000);
+//! ```
+
+use crate::batched::BatchSimulation;
+use crate::configuration::Configuration;
+use crate::convergence::{StabilizationDetector, StabilizationResult};
+use crate::count_config::CountConfiguration;
+use crate::enumerable::EnumerableProtocol;
+use crate::multibatch::MultiBatchSimulation;
+use crate::protocol::CleanInit;
+use crate::rng::derive_seed;
+use crate::simulation::{RunOutcome, Simulation, StabilizationOptions};
+use serde::Serialize;
+
+/// The simulation engine a run executes under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum EngineKind {
+    /// The per-agent engine ([`Simulation`], served through
+    /// [`PerStepEngine`]): pays for every interaction, works for any
+    /// enumerable protocol, exact per-agent trajectories.
+    PerStep,
+    /// The batched count-based engine ([`BatchSimulation`]): skips silent
+    /// runs geometrically, pays per state-changing interaction.
+    Batched,
+    /// The multi-batch collision sampler ([`MultiBatchSimulation`]):
+    /// resolves `Θ(√n)`-interaction epochs per statistical draw, pays per
+    /// epoch regardless of how many interactions change state.
+    MultiBatch,
+    /// The adaptive engine ([`AdaptiveSimulation`]): multi-batch while the
+    /// measured active-interaction fraction is high, batched once silence
+    /// dominates, switching at a hysteresis threshold.
+    Auto,
+}
+
+impl EngineKind {
+    /// The engine's name as used in experiment-table rows and CLI arguments.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::PerStep => "per-step",
+            EngineKind::Batched => "batched",
+            EngineKind::MultiBatch => "multibatch",
+            EngineKind::Auto => "auto",
+        }
+    }
+
+    /// Parses an engine kind from its [`EngineKind::label`] token.
+    pub fn parse(token: &str) -> Option<EngineKind> {
+        match token {
+            "per-step" => Some(EngineKind::PerStep),
+            "batched" => Some(EngineKind::Batched),
+            "multibatch" => Some(EngineKind::MultiBatch),
+            "auto" => Some(EngineKind::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// When an engine actually observes stop/stabilization predicates — see the
+/// [module docs](self) for the per-engine table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum PredicateGranularity {
+    /// Observed after every interaction that can change the configuration:
+    /// hitting times are exact at interaction resolution.
+    Interaction,
+    /// Observed every `stride` interactions: hitting times overshoot the
+    /// true hitting time by less than `stride`.
+    Every(u64),
+    /// Observed at epoch commits with the given expected epoch length
+    /// (`≈ 0.63·√n` interactions): hitting times overshoot by one epoch.
+    EpochCommit {
+        /// Expected epoch length in interactions.
+        expected_interactions: u64,
+    },
+}
+
+/// The shared surface of every simulation engine.
+///
+/// Predicates are functions of the [`CountConfiguration`] — the one
+/// representation all engines can serve (the per-step engine maintains an
+/// exact count mirror, see [`PerStepEngine`]). They are taken as
+/// `&mut dyn FnMut` so the trait stays object-safe and a
+/// [`SimBuilder`]-built `Box<dyn SimulationEngine<P>>` exposes the full
+/// surface; pass a closure as `&mut |c| ...`.
+///
+/// Interaction-index conventions are shared across all implementations:
+/// [`RunOutcome::interactions`] and [`StabilizationResult::interactions`]
+/// are *relative* (executed by that call), while
+/// [`StabilizationResult::stabilized_at`] and
+/// [`SimulationEngine::interactions`] are *absolute* (counted from the
+/// engine's construction — and preserved across [`AdaptiveSimulation`]
+/// handoffs).
+pub trait SimulationEngine<P: EnumerableProtocol> {
+    /// The protocol being simulated.
+    fn protocol(&self) -> &P;
+
+    /// The current configuration, as state counts.
+    fn counts(&self) -> &CountConfiguration;
+
+    /// Materializes the current configuration per agent. Count engines order
+    /// agents by state index (agents are anonymous); the per-step engine
+    /// preserves true agent identities.
+    fn to_configuration(&self) -> Configuration<P::State>;
+
+    /// Number of interactions executed since construction (absolute).
+    fn interactions(&self) -> u64;
+
+    /// Parallel time elapsed so far (interactions divided by `n`).
+    fn parallel_time(&self) -> f64 {
+        self.interactions() as f64 / self.counts().population() as f64
+    }
+
+    /// When this engine observes predicates — epoch-level vs
+    /// interaction-level; see the [module docs](self).
+    fn predicate_granularity(&self) -> PredicateGranularity;
+
+    /// Executes up to `budget` interactions unconditionally and returns the
+    /// number executed (always `budget` except for a per-step engine whose
+    /// scripted scheduler ran out).
+    fn run(&mut self, budget: u64) -> u64;
+
+    /// Runs until `pred` holds or `budget` interactions have been executed
+    /// by this call, observing `pred` at this engine's
+    /// [`SimulationEngine::predicate_granularity`].
+    fn run_until(
+        &mut self,
+        pred: &mut dyn FnMut(&CountConfiguration) -> bool,
+        budget: u64,
+    ) -> RunOutcome;
+
+    /// Measures the stabilization time of `pred`:
+    /// [`StabilizationResult::stabilized_at`] is the absolute interaction
+    /// index from which the predicate held until the end of the run, with
+    /// the run stopping early once it has held for `opts.confirm_window`
+    /// consecutive interactions. `opts.check_every` applies to the per-step
+    /// engine only (see the [module docs](self)).
+    fn measure_stabilization(
+        &mut self,
+        pred: &mut dyn FnMut(&CountConfiguration) -> bool,
+        opts: StabilizationOptions,
+    ) -> StabilizationResult;
+}
+
+impl<P: EnumerableProtocol> SimulationEngine<P> for BatchSimulation<P> {
+    fn protocol(&self) -> &P {
+        BatchSimulation::protocol(self)
+    }
+    fn counts(&self) -> &CountConfiguration {
+        BatchSimulation::counts(self)
+    }
+    fn to_configuration(&self) -> Configuration<P::State> {
+        BatchSimulation::to_configuration(self)
+    }
+    fn interactions(&self) -> u64 {
+        BatchSimulation::interactions(self)
+    }
+    fn predicate_granularity(&self) -> PredicateGranularity {
+        PredicateGranularity::Interaction
+    }
+    fn run(&mut self, budget: u64) -> u64 {
+        BatchSimulation::run(self, budget);
+        budget
+    }
+    fn run_until(
+        &mut self,
+        pred: &mut dyn FnMut(&CountConfiguration) -> bool,
+        budget: u64,
+    ) -> RunOutcome {
+        BatchSimulation::run_until(self, |c| pred(c), budget)
+    }
+    fn measure_stabilization(
+        &mut self,
+        pred: &mut dyn FnMut(&CountConfiguration) -> bool,
+        opts: StabilizationOptions,
+    ) -> StabilizationResult {
+        BatchSimulation::measure_stabilization(self, |c| pred(c), opts)
+    }
+}
+
+impl<P: EnumerableProtocol> SimulationEngine<P> for MultiBatchSimulation<P> {
+    fn protocol(&self) -> &P {
+        MultiBatchSimulation::protocol(self)
+    }
+    fn counts(&self) -> &CountConfiguration {
+        MultiBatchSimulation::counts(self)
+    }
+    fn to_configuration(&self) -> Configuration<P::State> {
+        MultiBatchSimulation::to_configuration(self)
+    }
+    fn interactions(&self) -> u64 {
+        MultiBatchSimulation::interactions(self)
+    }
+    fn predicate_granularity(&self) -> PredicateGranularity {
+        PredicateGranularity::EpochCommit {
+            expected_interactions: expected_epoch_length(self.counts().population()),
+        }
+    }
+    fn run(&mut self, budget: u64) -> u64 {
+        MultiBatchSimulation::run(self, budget);
+        budget
+    }
+    fn run_until(
+        &mut self,
+        pred: &mut dyn FnMut(&CountConfiguration) -> bool,
+        budget: u64,
+    ) -> RunOutcome {
+        MultiBatchSimulation::run_until(self, |c| pred(c), budget)
+    }
+    fn measure_stabilization(
+        &mut self,
+        pred: &mut dyn FnMut(&CountConfiguration) -> bool,
+        opts: StabilizationOptions,
+    ) -> StabilizationResult {
+        MultiBatchSimulation::measure_stabilization(self, |c| pred(c), opts)
+    }
+}
+
+/// The expected multi-batch epoch length at population size `n`
+/// (`≈ 0.63·√n` by the birthday bound), as advertised through
+/// [`PredicateGranularity::EpochCommit`].
+fn expected_epoch_length(n: u64) -> u64 {
+    ((0.6321 * (n as f64).sqrt()).ceil() as u64).max(1)
+}
+
+/// The fraction of ordered agent pairs that are currently *non-silent*,
+/// recomputed from the counts in `O(#occupied states²)` silence queries.
+///
+/// This is the activity measure [`AdaptiveSimulation`] uses while the
+/// multi-batch engine is active (the batched engine answers the same
+/// question exactly in O(1) via [`BatchSimulation::active_fraction`]).
+fn measured_active_fraction<P: EnumerableProtocol>(
+    protocol: &P,
+    counts: &CountConfiguration,
+) -> f64 {
+    let n = counts.population();
+    let occupied: Vec<(usize, u64)> = counts.occupied().collect();
+    let mut weight = 0u64;
+    for &(u, cu) in &occupied {
+        for &(v, cv) in &occupied {
+            if !protocol.is_silent(u, v) {
+                weight += if u == v { cu * (cu - 1) } else { cu * cv };
+            }
+        }
+    }
+    weight as f64 / (n * (n - 1)) as f64
+}
+
+/// The per-agent engine behind the unified count-predicate surface.
+///
+/// Wraps a [`Simulation`] and maintains an **exact count mirror** of the
+/// configuration: after every interaction the two touched agents' states are
+/// re-encoded (two [`EnumerableProtocol::encode`] calls) and the four
+/// affected counters updated, so count predicates cost O(occupied states)
+/// per evaluation instead of an O(n) rebuild. The underlying simulation
+/// consumes randomness exactly as a bare [`Simulation`] with the same seed —
+/// trajectories are identical, the mirror is pure bookkeeping.
+///
+/// Predicates are evaluated every [`PerStepEngine::with_check_every`]
+/// interactions (default: every interaction). A stride above 1 trades
+/// hitting-time resolution for fewer predicate evaluations — the coarse
+/// contract documented on [`PredicateGranularity::Every`].
+#[derive(Debug)]
+pub struct PerStepEngine<P: EnumerableProtocol> {
+    sim: Simulation<P>,
+    counts: CountConfiguration,
+    /// `encoded[a]` is the state index agent `a` currently holds — the
+    /// per-agent half of the mirror, needed to know which counter an agent
+    /// leaves when its state changes.
+    encoded: Vec<usize>,
+    check_every: u64,
+}
+
+impl<P: EnumerableProtocol> PerStepEngine<P> {
+    /// Creates a per-step engine from a per-agent configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration size does not match
+    /// [`crate::Protocol::population_size`].
+    pub fn new(protocol: P, config: Configuration<P::State>, seed: u64) -> Self {
+        let encoded: Vec<usize> = config.iter().map(|s| protocol.encode(s)).collect();
+        let mut counts = vec![0u64; protocol.num_states()];
+        for &index in &encoded {
+            counts[index] += 1;
+        }
+        PerStepEngine {
+            sim: Simulation::new(protocol, config, seed),
+            counts: CountConfiguration::from_counts(counts),
+            encoded,
+            check_every: 1,
+        }
+    }
+
+    /// Creates a per-step engine from the protocol's clean initial
+    /// configuration.
+    pub fn clean(protocol: P, seed: u64) -> Self
+    where
+        P: CleanInit,
+    {
+        let config = Configuration::clean(&protocol);
+        Self::new(protocol, config, seed)
+    }
+
+    /// Sets the predicate check stride for `run_until` (clamped to ≥ 1):
+    /// hitting times overshoot by less than the stride.
+    pub fn with_check_every(mut self, every: u64) -> Self {
+        self.check_every = every.max(1);
+        self
+    }
+
+    /// The wrapped per-agent simulation (per-agent metrics, exact
+    /// configuration access).
+    pub fn simulation(&self) -> &Simulation<P> {
+        &self.sim
+    }
+
+    /// Executes one interaction and updates the count mirror. Returns
+    /// `false` when the scheduler is exhausted.
+    fn step_once(&mut self) -> bool {
+        let Some(pair) = self.sim.step() else {
+            return false;
+        };
+        let (i, j) = (pair.initiator.index(), pair.responder.index());
+        let (new_u, new_v) = {
+            let protocol = self.sim.protocol();
+            let config = self.sim.configuration();
+            (
+                protocol.encode(config.state(pair.initiator)),
+                protocol.encode(config.state(pair.responder)),
+            )
+        };
+        let (old_u, old_v) = (self.encoded[i], self.encoded[j]);
+        if (new_u, new_v) != (old_u, old_v) {
+            self.counts
+                .ensure_num_states(self.sim.protocol().num_states());
+            self.counts.apply_transition((old_u, old_v), (new_u, new_v));
+            self.encoded[i] = new_u;
+            self.encoded[j] = new_v;
+        }
+        true
+    }
+
+    /// Executes up to `budget` interactions unconditionally; returns the
+    /// number executed (less only if the scheduler ran out).
+    pub fn run(&mut self, budget: u64) -> u64 {
+        let mut done = 0;
+        while done < budget && self.step_once() {
+            done += 1;
+        }
+        done
+    }
+
+    /// Runs until `pred` holds for the count mirror or `budget` interactions
+    /// have been executed by this call, checking `pred` every
+    /// [`PerStepEngine::with_check_every`] interactions.
+    pub fn run_until<F>(&mut self, mut pred: F, budget: u64) -> RunOutcome
+    where
+        F: FnMut(&CountConfiguration) -> bool,
+    {
+        let mut done = 0u64;
+        loop {
+            if pred(&self.counts) {
+                return RunOutcome {
+                    interactions: done,
+                    satisfied: true,
+                };
+            }
+            if done >= budget {
+                return RunOutcome {
+                    interactions: done,
+                    satisfied: false,
+                };
+            }
+            let chunk = self.check_every.min(budget - done);
+            let mut ran = 0u64;
+            while ran < chunk && self.step_once() {
+                ran += 1;
+            }
+            done += ran;
+            if ran < chunk {
+                // Scheduler exhausted mid-chunk: one final observation.
+                return RunOutcome {
+                    interactions: done,
+                    satisfied: pred(&self.counts),
+                };
+            }
+        }
+    }
+
+    /// Measures the stabilization time of `pred` with the exact semantics of
+    /// [`Simulation::measure_stabilization`] (absolute
+    /// [`StabilizationResult::stabilized_at`], `opts.check_every` honored),
+    /// evaluated on the count mirror.
+    pub fn measure_stabilization<F>(
+        &mut self,
+        mut pred: F,
+        opts: StabilizationOptions,
+    ) -> StabilizationResult
+    where
+        F: FnMut(&CountConfiguration) -> bool,
+    {
+        let n = self.counts.population() as usize;
+        let start = self.sim.interactions();
+        let mut detector = StabilizationDetector::new();
+        detector.observe(start, pred(&self.counts));
+        let mut executed = 0u64;
+        while executed < opts.budget {
+            if !self.step_once() {
+                break;
+            }
+            executed += 1;
+            if executed % opts.check_every == 0 {
+                detector.observe(start + executed, pred(&self.counts));
+                if detector.consecutive(start + executed) >= opts.confirm_window {
+                    break;
+                }
+            }
+        }
+        detector.observe(start + executed, pred(&self.counts));
+        StabilizationResult {
+            interactions: executed,
+            stabilized_at: detector.stabilized_at(),
+            n,
+        }
+    }
+}
+
+impl<P: EnumerableProtocol> SimulationEngine<P> for PerStepEngine<P> {
+    fn protocol(&self) -> &P {
+        self.sim.protocol()
+    }
+    fn counts(&self) -> &CountConfiguration {
+        &self.counts
+    }
+    fn to_configuration(&self) -> Configuration<P::State> {
+        Configuration::from_states(self.sim.configuration().as_slice().to_vec())
+    }
+    fn interactions(&self) -> u64 {
+        self.sim.interactions()
+    }
+    fn predicate_granularity(&self) -> PredicateGranularity {
+        if self.check_every <= 1 {
+            PredicateGranularity::Interaction
+        } else {
+            PredicateGranularity::Every(self.check_every)
+        }
+    }
+    fn run(&mut self, budget: u64) -> u64 {
+        PerStepEngine::run(self, budget)
+    }
+    fn run_until(
+        &mut self,
+        pred: &mut dyn FnMut(&CountConfiguration) -> bool,
+        budget: u64,
+    ) -> RunOutcome {
+        PerStepEngine::run_until(self, |c| pred(c), budget)
+    }
+    fn measure_stabilization(
+        &mut self,
+        pred: &mut dyn FnMut(&CountConfiguration) -> bool,
+        opts: StabilizationOptions,
+    ) -> StabilizationResult {
+        PerStepEngine::measure_stabilization(self, |c| pred(c), opts)
+    }
+}
+
+/// Switching policy of the [`AdaptiveSimulation`].
+///
+/// The policy is a hysteresis band on the *active-interaction fraction* —
+/// the probability that a uniformly random ordered pair changes state. The
+/// batched engine's cost per interaction is proportional to that fraction
+/// (it pays only for state changes), while the multi-batch engine's is a
+/// constant `≈ 1/(0.63·√n)` epoch share — so high activity favors
+/// multi-batch and silence favors batched. Decisions depend only on
+/// simulation state (never on wall-clock time), so adaptive runs stay
+/// deterministic under a fixed seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AdaptiveConfig {
+    /// Hand off multi-batch → batched when the active fraction drops below
+    /// this.
+    pub low_activity: f64,
+    /// Hand off batched → multi-batch when the active fraction rises above
+    /// this. Must be strictly greater than
+    /// [`AdaptiveConfig::low_activity`] (the gap is the hysteresis band
+    /// that prevents thrashing).
+    pub high_activity: f64,
+    /// Interactions between activity measurements (each measurement costs
+    /// O(#occupied states²) silence queries in multi-batch mode, O(1) in
+    /// batched mode). `0` resolves to `max(n, 1024)` at construction.
+    pub check_interval: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            low_activity: 0.02,
+            high_activity: 0.08,
+            check_interval: 0,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Resolves the auto values against a population size and validates the
+    /// band.
+    fn resolved(self, n: u64) -> Self {
+        assert!(
+            self.low_activity < self.high_activity,
+            "hysteresis band requires low_activity < high_activity"
+        );
+        AdaptiveConfig {
+            check_interval: if self.check_interval == 0 {
+                n.max(1024)
+            } else {
+                self.check_interval
+            },
+            ..self
+        }
+    }
+}
+
+/// The currently active engine of an [`AdaptiveSimulation`].
+#[derive(Debug)]
+enum ActiveEngine<P: EnumerableProtocol> {
+    Batched(BatchSimulation<P>),
+    MultiBatch(MultiBatchSimulation<P>),
+    /// Transient state during a handoff only; observable states are always
+    /// one of the two engines.
+    Swapping,
+}
+
+/// The `Auto` engine tier: multi-batch while activity is high, batched once
+/// silence dominates.
+///
+/// The engine measures the active-interaction fraction every
+/// [`AdaptiveConfig::check_interval`] interactions and hands the count
+/// vector between [`MultiBatchSimulation`] and [`BatchSimulation`] at the
+/// configured hysteresis thresholds. Handoffs are **exact**: both engines
+/// truncate their batches at arbitrary interaction budgets without biasing
+/// the schedule (geometric silent runs are memoryless, epoch prefixes are
+/// exchangeable), so the stitched run has exactly the uniform-scheduler
+/// distribution, and [`AdaptiveSimulation::interactions`] /
+/// [`StabilizationResult::stabilized_at`] stay absolute across handoffs.
+///
+/// The per-handoff cost is one `O(#occupied states²)` pair-index rebuild
+/// (when entering batched mode); the hysteresis band keeps handoffs rare.
+/// Each retired engine's RNG is dropped and the successor's is seeded as
+/// `derive_seed(seed, #handoffs)`, so a fixed seed still reproduces the run
+/// bit-for-bit.
+#[derive(Debug)]
+pub struct AdaptiveSimulation<P: EnumerableProtocol> {
+    inner: ActiveEngine<P>,
+    /// Master seed; engine `k` (0-based by handoff count) runs under
+    /// `derive_seed(seed, k)`.
+    seed: u64,
+    handoffs: u64,
+    /// Interactions executed by retired engines — added to the active
+    /// engine's counter to keep absolute indices.
+    base_interactions: u64,
+    config: AdaptiveConfig,
+    /// Interactions until the next activity measurement.
+    until_check: u64,
+}
+
+impl<P: EnumerableProtocol> AdaptiveSimulation<P> {
+    /// Creates an adaptive simulation from an explicit count configuration
+    /// with the default [`AdaptiveConfig`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`BatchSimulation::new`] (population/state-space mismatches),
+    /// plus an invalid [`AdaptiveConfig`] hysteresis band.
+    pub fn new(protocol: P, counts: CountConfiguration, seed: u64) -> Self {
+        Self::with_config(protocol, counts, seed, AdaptiveConfig::default())
+    }
+
+    /// Creates an adaptive simulation with an explicit switching policy.
+    /// The initial engine is chosen by measuring the initial activity
+    /// against [`AdaptiveConfig::high_activity`].
+    pub fn with_config(
+        protocol: P,
+        counts: CountConfiguration,
+        seed: u64,
+        config: AdaptiveConfig,
+    ) -> Self {
+        let config = config.resolved(counts.population());
+        let fraction = measured_active_fraction(&protocol, &counts);
+        let engine_seed = derive_seed(seed, 0);
+        let inner = if fraction > config.high_activity {
+            ActiveEngine::MultiBatch(MultiBatchSimulation::new(protocol, counts, engine_seed))
+        } else {
+            ActiveEngine::Batched(BatchSimulation::new(protocol, counts, engine_seed))
+        };
+        AdaptiveSimulation {
+            inner,
+            seed,
+            handoffs: 0,
+            base_interactions: 0,
+            until_check: config.check_interval,
+            config,
+        }
+    }
+
+    /// Creates an adaptive simulation from a per-agent configuration.
+    pub fn from_configuration(protocol: P, config: &Configuration<P::State>, seed: u64) -> Self {
+        let counts = CountConfiguration::from_configuration(&protocol, config);
+        Self::new(protocol, counts, seed)
+    }
+
+    /// Creates an adaptive simulation from the protocol's clean initial
+    /// configuration.
+    pub fn clean(protocol: P, seed: u64) -> Self
+    where
+        P: CleanInit,
+    {
+        let config = Configuration::clean(&protocol);
+        Self::from_configuration(protocol, &config, seed)
+    }
+
+    /// The engine currently executing interactions
+    /// ([`EngineKind::Batched`] or [`EngineKind::MultiBatch`]).
+    pub fn current_kind(&self) -> EngineKind {
+        match &self.inner {
+            ActiveEngine::Batched(_) => EngineKind::Batched,
+            ActiveEngine::MultiBatch(_) => EngineKind::MultiBatch,
+            ActiveEngine::Swapping => unreachable!("engine mid-handoff"),
+        }
+    }
+
+    /// Number of engine handoffs so far.
+    pub fn handoffs(&self) -> u64 {
+        self.handoffs
+    }
+
+    /// The current active-interaction fraction — exact in batched mode,
+    /// recomputed from the counts in multi-batch mode.
+    pub fn active_fraction(&self) -> f64 {
+        match &self.inner {
+            ActiveEngine::Batched(sim) => sim.active_fraction(),
+            ActiveEngine::MultiBatch(sim) => measured_active_fraction(sim.protocol(), sim.counts()),
+            ActiveEngine::Swapping => unreachable!("engine mid-handoff"),
+        }
+    }
+
+    /// The switching policy in effect (with auto values resolved).
+    pub fn adaptive_config(&self) -> AdaptiveConfig {
+        self.config
+    }
+
+    /// Hands the protocol and count vector to the other engine.
+    fn swap(&mut self) {
+        let retired = std::mem::replace(&mut self.inner, ActiveEngine::Swapping);
+        self.handoffs += 1;
+        let next_seed = derive_seed(self.seed, self.handoffs);
+        self.inner = match retired {
+            ActiveEngine::Batched(sim) => {
+                self.base_interactions += sim.interactions();
+                let (protocol, counts) = sim.into_parts();
+                ActiveEngine::MultiBatch(MultiBatchSimulation::new(protocol, counts, next_seed))
+            }
+            ActiveEngine::MultiBatch(sim) => {
+                self.base_interactions += sim.interactions();
+                let (protocol, counts) = sim.into_parts();
+                ActiveEngine::Batched(BatchSimulation::new(protocol, counts, next_seed))
+            }
+            ActiveEngine::Swapping => unreachable!("engine mid-handoff"),
+        };
+    }
+
+    /// Measures activity and switches engines if it crossed the band.
+    fn maybe_switch(&mut self) {
+        let fraction = self.active_fraction();
+        let should_swap = match &self.inner {
+            ActiveEngine::Batched(_) => fraction > self.config.high_activity,
+            ActiveEngine::MultiBatch(_) => fraction < self.config.low_activity,
+            ActiveEngine::Swapping => unreachable!("engine mid-handoff"),
+        };
+        if should_swap {
+            self.swap();
+        }
+    }
+
+    /// Runs the activity check if its interval elapsed and returns the next
+    /// chunk size toward `remaining`.
+    fn next_chunk(&mut self, remaining: u64) -> u64 {
+        if self.until_check == 0 {
+            self.maybe_switch();
+            self.until_check = self.config.check_interval;
+        }
+        remaining.min(self.until_check)
+    }
+
+    /// Number of interactions executed since construction — absolute across
+    /// handoffs (retired engines' interactions included).
+    pub fn interactions(&self) -> u64 {
+        let inner = match &self.inner {
+            ActiveEngine::Batched(sim) => sim.interactions(),
+            ActiveEngine::MultiBatch(sim) => sim.interactions(),
+            ActiveEngine::Swapping => unreachable!("engine mid-handoff"),
+        };
+        self.base_interactions + inner
+    }
+
+    /// The current configuration, as state counts.
+    pub fn counts(&self) -> &CountConfiguration {
+        match &self.inner {
+            ActiveEngine::Batched(sim) => sim.counts(),
+            ActiveEngine::MultiBatch(sim) => sim.counts(),
+            ActiveEngine::Swapping => unreachable!("engine mid-handoff"),
+        }
+    }
+
+    /// The protocol being simulated.
+    pub fn protocol(&self) -> &P {
+        match &self.inner {
+            ActiveEngine::Batched(sim) => sim.protocol(),
+            ActiveEngine::MultiBatch(sim) => sim.protocol(),
+            ActiveEngine::Swapping => unreachable!("engine mid-handoff"),
+        }
+    }
+
+    /// Parallel time elapsed so far (interactions divided by `n`).
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions() as f64 / self.counts().population() as f64
+    }
+
+    /// Executes exactly `budget` interactions, measuring activity (and
+    /// possibly switching engines) every
+    /// [`AdaptiveConfig::check_interval`] interactions.
+    pub fn run(&mut self, budget: u64) -> u64 {
+        let mut done = 0u64;
+        while done < budget {
+            let chunk = self.next_chunk(budget - done);
+            match &mut self.inner {
+                ActiveEngine::Batched(sim) => {
+                    sim.run(chunk);
+                }
+                ActiveEngine::MultiBatch(sim) => {
+                    sim.run(chunk);
+                }
+                ActiveEngine::Swapping => unreachable!("engine mid-handoff"),
+            }
+            done += chunk;
+            self.until_check -= chunk;
+        }
+        budget
+    }
+
+    /// Runs until `pred` holds or `budget` interactions have been executed
+    /// by this call. The predicate is observed at the *active* engine's
+    /// granularity (exact per state change in batched mode, per epoch commit
+    /// in multi-batch mode).
+    pub fn run_until<F>(&mut self, mut pred: F, budget: u64) -> RunOutcome
+    where
+        F: FnMut(&CountConfiguration) -> bool,
+    {
+        self.run_until_dyn(&mut pred, budget)
+    }
+
+    fn run_until_dyn(
+        &mut self,
+        pred: &mut dyn FnMut(&CountConfiguration) -> bool,
+        budget: u64,
+    ) -> RunOutcome {
+        let mut done = 0u64;
+        loop {
+            let chunk = self.next_chunk(budget - done);
+            let out = match &mut self.inner {
+                ActiveEngine::Batched(sim) => sim.run_until(|c| pred(c), chunk),
+                ActiveEngine::MultiBatch(sim) => sim.run_until(|c| pred(c), chunk),
+                ActiveEngine::Swapping => unreachable!("engine mid-handoff"),
+            };
+            done += out.interactions;
+            self.until_check -= out.interactions;
+            if out.satisfied {
+                return RunOutcome {
+                    interactions: done,
+                    satisfied: true,
+                };
+            }
+            if done >= budget {
+                return RunOutcome {
+                    interactions: done,
+                    satisfied: false,
+                };
+            }
+        }
+    }
+
+    /// Measures the stabilization time of `pred` with the shared engine
+    /// semantics: [`StabilizationResult::stabilized_at`] is absolute across
+    /// handoffs, and the run stops early once the predicate has held for
+    /// `opts.confirm_window` consecutive interactions (`opts.check_every` is
+    /// ignored, as for the count engines).
+    ///
+    /// Internally this alternates a *seek* phase (`run_until(pred)`) and a
+    /// *confirm* phase (`run_until(!pred)` capped by the window), so both
+    /// phases run under whichever engine the activity measurements favor —
+    /// e.g. the long silent confirmation window of a stabilized protocol is
+    /// consumed by the batched engine's geometric skipping even if the
+    /// pre-stabilization phase ran multi-batch.
+    pub fn measure_stabilization<F>(
+        &mut self,
+        mut pred: F,
+        opts: StabilizationOptions,
+    ) -> StabilizationResult
+    where
+        F: FnMut(&CountConfiguration) -> bool,
+    {
+        self.measure_stabilization_dyn(&mut pred, opts)
+    }
+
+    fn measure_stabilization_dyn(
+        &mut self,
+        pred: &mut dyn FnMut(&CountConfiguration) -> bool,
+        opts: StabilizationOptions,
+    ) -> StabilizationResult {
+        let n = self.counts().population() as usize;
+        let start = self.interactions();
+        let mut detector = StabilizationDetector::new();
+        let mut executed = 0u64;
+        loop {
+            // Seek: run until the predicate is first observed true.
+            let out = self.run_until_dyn(pred, opts.budget - executed);
+            executed += out.interactions;
+            if !out.satisfied {
+                detector.observe(start + executed, false);
+                break;
+            }
+            let candidate = start + executed;
+            detector.observe(candidate, true);
+            // Confirm: run until the predicate is observed violated, for at
+            // most the remaining confirmation window.
+            let window = opts.confirm_window.min(opts.budget - executed);
+            let violated = self.run_until_dyn(&mut |c| !pred(c), window);
+            executed += violated.interactions;
+            if violated.satisfied {
+                detector.observe(start + executed, false);
+                if executed >= opts.budget {
+                    break;
+                }
+                continue;
+            }
+            // Held through the window (or to the end of the budget).
+            detector.observe(start + executed, true);
+            break;
+        }
+        StabilizationResult {
+            interactions: executed,
+            stabilized_at: detector.stabilized_at(),
+            n,
+        }
+    }
+}
+
+impl<P: EnumerableProtocol> SimulationEngine<P> for AdaptiveSimulation<P> {
+    fn protocol(&self) -> &P {
+        AdaptiveSimulation::protocol(self)
+    }
+    fn counts(&self) -> &CountConfiguration {
+        AdaptiveSimulation::counts(self)
+    }
+    fn to_configuration(&self) -> Configuration<P::State> {
+        self.counts().to_configuration(self.protocol())
+    }
+    fn interactions(&self) -> u64 {
+        AdaptiveSimulation::interactions(self)
+    }
+    fn predicate_granularity(&self) -> PredicateGranularity {
+        match &self.inner {
+            ActiveEngine::Batched(_) => PredicateGranularity::Interaction,
+            ActiveEngine::MultiBatch(sim) => PredicateGranularity::EpochCommit {
+                expected_interactions: expected_epoch_length(sim.counts().population()),
+            },
+            ActiveEngine::Swapping => unreachable!("engine mid-handoff"),
+        }
+    }
+    fn run(&mut self, budget: u64) -> u64 {
+        AdaptiveSimulation::run(self, budget)
+    }
+    fn run_until(
+        &mut self,
+        pred: &mut dyn FnMut(&CountConfiguration) -> bool,
+        budget: u64,
+    ) -> RunOutcome {
+        self.run_until_dyn(pred, budget)
+    }
+    fn measure_stabilization(
+        &mut self,
+        pred: &mut dyn FnMut(&CountConfiguration) -> bool,
+        opts: StabilizationOptions,
+    ) -> StabilizationResult {
+        self.measure_stabilization_dyn(pred, opts)
+    }
+}
+
+/// How a [`SimBuilder`] initializes the population.
+#[derive(Debug)]
+enum BuilderInit<S> {
+    Clean,
+    PerAgent(Configuration<S>),
+    Counts(CountConfiguration),
+}
+
+/// One constructor for every engine tier: protocol + init + seed + kind →
+/// boxed [`SimulationEngine`].
+///
+/// Replaces the per-engine `new` / `from_configuration` / `clean`
+/// constructor trio at call sites (the inherent constructors remain as the
+/// primitive layer). Defaults: clean initial configuration, seed 0,
+/// [`EngineKind::Auto`].
+///
+/// ```
+/// use ppsim::engine::{EngineKind, SimBuilder, SimulationEngine};
+/// use ppsim::epidemic::{OneWayEpidemic, INFORMED};
+///
+/// let mut sim = SimBuilder::new(OneWayEpidemic::new(512, 1))
+///     .kind(EngineKind::Batched)
+///     .seed(42)
+///     .build();
+/// let out = sim.run_until(&mut |c| c.count(INFORMED) == c.population(), u64::MAX);
+/// assert!(out.satisfied);
+/// ```
+#[derive(Debug)]
+pub struct SimBuilder<P: EnumerableProtocol> {
+    protocol: P,
+    seed: u64,
+    kind: EngineKind,
+    init: BuilderInit<P::State>,
+    check_every: u64,
+    adaptive: AdaptiveConfig,
+}
+
+impl<P: EnumerableProtocol + 'static> SimBuilder<P> {
+    /// Starts a builder for `protocol` with the default clean init, seed 0
+    /// and [`EngineKind::Auto`].
+    pub fn new(protocol: P) -> Self {
+        SimBuilder {
+            protocol,
+            seed: 0,
+            kind: EngineKind::Auto,
+            init: BuilderInit::Clean,
+            check_every: 1,
+            adaptive: AdaptiveConfig::default(),
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the engine tier.
+    pub fn kind(mut self, kind: EngineKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Initializes from an explicit per-agent configuration instead of the
+    /// protocol's clean initial configuration.
+    pub fn config(mut self, config: Configuration<P::State>) -> Self {
+        self.init = BuilderInit::PerAgent(config);
+        self
+    }
+
+    /// Initializes from an explicit count configuration (materialized into
+    /// per-agent form if the per-step engine is selected).
+    pub fn counts(mut self, counts: CountConfiguration) -> Self {
+        self.init = BuilderInit::Counts(counts);
+        self
+    }
+
+    /// Sets the per-step engine's predicate check stride (ignored by the
+    /// other tiers; see [`PredicateGranularity::Every`]).
+    pub fn check_every(mut self, every: u64) -> Self {
+        self.check_every = every.max(1);
+        self
+    }
+
+    /// Sets the [`EngineKind::Auto`] switching policy (ignored by the fixed
+    /// tiers).
+    pub fn adaptive_config(mut self, config: AdaptiveConfig) -> Self {
+        self.adaptive = config;
+        self
+    }
+
+    /// The chosen init as a per-agent configuration.
+    fn per_agent_config(protocol: &P, init: BuilderInit<P::State>) -> Configuration<P::State>
+    where
+        P: CleanInit,
+    {
+        match init {
+            BuilderInit::Clean => Configuration::clean(protocol),
+            BuilderInit::PerAgent(config) => config,
+            BuilderInit::Counts(counts) => counts.to_configuration(protocol),
+        }
+    }
+
+    /// The chosen init as a count configuration.
+    fn count_config(protocol: &P, init: BuilderInit<P::State>) -> CountConfiguration
+    where
+        P: CleanInit,
+    {
+        match init {
+            BuilderInit::Counts(counts) => counts,
+            init => {
+                let config = Self::per_agent_config(protocol, init);
+                CountConfiguration::from_configuration(protocol, &config)
+            }
+        }
+    }
+
+    /// Builds the selected engine behind the [`SimulationEngine`] trait.
+    ///
+    /// This is the **only** place in the workspace that dispatches over
+    /// [`EngineKind`]; everything downstream works through the trait.
+    pub fn build(self) -> Box<dyn SimulationEngine<P>>
+    where
+        P: CleanInit,
+    {
+        let SimBuilder {
+            protocol,
+            seed,
+            kind,
+            init,
+            check_every,
+            adaptive,
+        } = self;
+        match kind {
+            EngineKind::PerStep => {
+                let config = Self::per_agent_config(&protocol, init);
+                Box::new(PerStepEngine::new(protocol, config, seed).with_check_every(check_every))
+            }
+            EngineKind::Batched => {
+                let counts = Self::count_config(&protocol, init);
+                Box::new(BatchSimulation::new(protocol, counts, seed))
+            }
+            EngineKind::MultiBatch => {
+                let counts = Self::count_config(&protocol, init);
+                Box::new(MultiBatchSimulation::new(protocol, counts, seed))
+            }
+            EngineKind::Auto => {
+                let counts = Self::count_config(&protocol, init);
+                Box::new(AdaptiveSimulation::with_config(
+                    protocol, counts, seed, adaptive,
+                ))
+            }
+        }
+    }
+
+    /// Builds the [`EngineKind::Auto`] engine as its concrete type (for
+    /// callers that want handoff introspection — the boxed
+    /// [`SimBuilder::build`] surface does not expose it). The selected
+    /// [`SimBuilder::kind`] is ignored.
+    pub fn build_adaptive(self) -> AdaptiveSimulation<P>
+    where
+        P: CleanInit,
+    {
+        let SimBuilder {
+            protocol,
+            seed,
+            init,
+            adaptive,
+            ..
+        } = self;
+        let counts = Self::count_config(&protocol, init);
+        AdaptiveSimulation::with_config(protocol, counts, seed, adaptive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epidemic::{OneWayEpidemic, TwoWayEpidemic, INFORMED};
+    use crate::protocol::Protocol;
+
+    fn informed_everywhere(c: &CountConfiguration) -> bool {
+        c.count(INFORMED) == c.population()
+    }
+
+    #[test]
+    fn engine_kind_labels_and_parse_round_trip() {
+        let kinds = [
+            EngineKind::PerStep,
+            EngineKind::Batched,
+            EngineKind::MultiBatch,
+            EngineKind::Auto,
+        ];
+        let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+        for (kind, label) in kinds.iter().zip(&labels) {
+            assert_eq!(EngineKind::parse(label), Some(*kind));
+        }
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), kinds.len(), "labels must be distinct");
+        assert_eq!(EngineKind::parse("sequential"), None);
+    }
+
+    #[test]
+    fn every_kind_completes_the_epidemic_through_the_trait() {
+        for kind in [
+            EngineKind::PerStep,
+            EngineKind::Batched,
+            EngineKind::MultiBatch,
+            EngineKind::Auto,
+        ] {
+            let mut sim = SimBuilder::new(OneWayEpidemic::new(256, 1))
+                .kind(kind)
+                .seed(9)
+                .build();
+            let out = sim.run_until(&mut informed_everywhere, u64::MAX);
+            assert!(out.satisfied, "{kind:?}");
+            assert_eq!(sim.counts().count(INFORMED), 256, "{kind:?}");
+            assert_eq!(sim.interactions(), out.interactions, "{kind:?}");
+            assert!(sim.parallel_time() > 0.0, "{kind:?}");
+            assert_eq!(sim.to_configuration().len(), 256, "{kind:?}");
+            assert_eq!(sim.protocol().population_size(), 256, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn builder_matches_the_direct_constructors_trajectory_for_fixed_kinds() {
+        // The builder must not perturb RNG streams: a `Batched` build from a
+        // clean init is the same run as `BatchSimulation::clean`.
+        let mut direct = BatchSimulation::clean(OneWayEpidemic::new(256, 1), 42);
+        let direct_out = direct.run_until(|c| c.count(INFORMED) == c.population(), u64::MAX);
+        let mut built = SimBuilder::new(OneWayEpidemic::new(256, 1))
+            .kind(EngineKind::Batched)
+            .seed(42)
+            .build();
+        let built_out = built.run_until(&mut informed_everywhere, u64::MAX);
+        assert_eq!(direct_out.interactions, built_out.interactions);
+
+        let mut direct = MultiBatchSimulation::clean(OneWayEpidemic::new(256, 1), 42);
+        let direct_out = direct.run_until(|c| c.count(INFORMED) == c.population(), u64::MAX);
+        let mut built = SimBuilder::new(OneWayEpidemic::new(256, 1))
+            .kind(EngineKind::MultiBatch)
+            .seed(42)
+            .build();
+        let built_out = built.run_until(&mut informed_everywhere, u64::MAX);
+        assert_eq!(direct_out.interactions, built_out.interactions);
+    }
+
+    #[test]
+    fn per_step_engine_mirrors_the_bare_simulation_exactly() {
+        // Same seed, same trajectory: the count mirror is pure bookkeeping.
+        let protocol = OneWayEpidemic::new(128, 1);
+        let config = Configuration::clean(&protocol);
+        let mut bare = Simulation::new(protocol, config, 11);
+        let bare_out = bare.run_until(|c| c.iter().all(|s| *s), u64::MAX);
+
+        let mut mirrored = PerStepEngine::clean(OneWayEpidemic::new(128, 1), 11);
+        let out = mirrored.run_until(informed_everywhere, u64::MAX);
+        assert_eq!(out.interactions, bare_out.interactions);
+        assert_eq!(mirrored.counts().count(INFORMED), 128);
+    }
+
+    #[test]
+    fn per_step_mirror_stays_consistent_with_a_rebuild() {
+        let mut sim = PerStepEngine::clean(TwoWayEpidemic::new(64, 3), 5);
+        for _ in 0..20 {
+            sim.run(50);
+            let rebuilt = CountConfiguration::from_configuration(
+                sim.simulation().protocol(),
+                sim.simulation().configuration(),
+            );
+            assert_eq!(sim.counts(), &rebuilt, "mirror drifted");
+        }
+    }
+
+    #[test]
+    fn per_step_check_every_rounds_hitting_times_up() {
+        let exact = PerStepEngine::clean(OneWayEpidemic::new(64, 1), 3)
+            .run_until(informed_everywhere, u64::MAX);
+        let coarse = PerStepEngine::clean(OneWayEpidemic::new(64, 1), 3)
+            .with_check_every(100)
+            .run_until(informed_everywhere, u64::MAX);
+        assert!(coarse.satisfied);
+        assert!(coarse.interactions >= exact.interactions);
+        assert!(coarse.interactions < exact.interactions + 100);
+        assert_eq!(coarse.interactions % 100, 0);
+    }
+
+    #[test]
+    fn granularities_match_the_documented_table() {
+        let batched = SimBuilder::new(OneWayEpidemic::new(64, 1))
+            .kind(EngineKind::Batched)
+            .build();
+        assert_eq!(
+            batched.predicate_granularity(),
+            PredicateGranularity::Interaction
+        );
+        let per_step = SimBuilder::new(OneWayEpidemic::new(64, 1))
+            .kind(EngineKind::PerStep)
+            .check_every(32)
+            .build();
+        assert_eq!(
+            per_step.predicate_granularity(),
+            PredicateGranularity::Every(32)
+        );
+        let multibatch = SimBuilder::new(OneWayEpidemic::new(10_000, 1))
+            .kind(EngineKind::MultiBatch)
+            .build();
+        match multibatch.predicate_granularity() {
+            PredicateGranularity::EpochCommit {
+                expected_interactions,
+            } => {
+                // ≈ 0.63·√10000 ≈ 63.
+                assert!((60..=70).contains(&expected_interactions));
+            }
+            g => panic!("unexpected granularity {g:?}"),
+        }
+    }
+
+    /// A forced-switching config: thresholds inside the epidemic's activity
+    /// range and a tight check interval, so a sparse epidemic hands off
+    /// batched → multi-batch → batched within one run.
+    fn switchy() -> AdaptiveConfig {
+        AdaptiveConfig {
+            low_activity: 0.05,
+            high_activity: 0.10,
+            check_interval: 64,
+        }
+    }
+
+    #[test]
+    fn adaptive_engine_hands_off_in_both_directions() {
+        let mut sim = AdaptiveSimulation::with_config(
+            OneWayEpidemic::new(256, 1),
+            CountConfiguration::from_configuration(
+                &OneWayEpidemic::new(256, 1),
+                &Configuration::clean(&OneWayEpidemic::new(256, 1)),
+            ),
+            7,
+            switchy(),
+        );
+        assert_eq!(sim.current_kind(), EngineKind::Batched, "sparse start");
+        let out = sim.run_until(informed_everywhere, u64::MAX);
+        assert!(out.satisfied);
+        assert_eq!(sim.counts().count(INFORMED), 256);
+        assert!(
+            sim.handoffs() >= 2,
+            "expected batched → multibatch → batched, got {} handoffs",
+            sim.handoffs()
+        );
+        assert_eq!(
+            sim.current_kind(),
+            EngineKind::Batched,
+            "the near-complete epidemic is silent again"
+        );
+        assert_eq!(sim.interactions(), out.interactions);
+    }
+
+    #[test]
+    fn adaptive_initial_engine_follows_initial_activity() {
+        // Half informed: the two-way epidemic's mixed pairs put the active
+        // fraction near 1/2, over any default-ish high threshold.
+        let sim = AdaptiveSimulation::clean(TwoWayEpidemic::new(128, 64), 3);
+        assert_eq!(sim.current_kind(), EngineKind::MultiBatch);
+        assert!(sim.active_fraction() > 0.4);
+        // One source: activity ≈ 2/n, silence dominates.
+        let sim = AdaptiveSimulation::clean(TwoWayEpidemic::new(128, 1), 3);
+        assert_eq!(sim.current_kind(), EngineKind::Batched);
+    }
+
+    #[test]
+    fn adaptive_budget_accounting_is_exact_across_handoffs() {
+        let mut sim = SimBuilder::new(OneWayEpidemic::new(256, 1))
+            .seed(21)
+            .adaptive_config(switchy())
+            .build_adaptive();
+        let mut total = 0u64;
+        // Odd chunk sizes deliberately misaligned with the check interval.
+        for chunk in [1u64, 37, 250, 999, 1, 4_321] {
+            sim.run(chunk);
+            total += chunk;
+            assert_eq!(sim.interactions(), total, "absolute index drifted");
+        }
+        assert_eq!(sim.counts().counts().iter().sum::<u64>(), 256);
+    }
+
+    #[test]
+    fn adaptive_fixed_seed_is_deterministic() {
+        let run = |seed: u64| {
+            let mut sim = SimBuilder::new(OneWayEpidemic::new(256, 1))
+                .seed(seed)
+                .adaptive_config(switchy())
+                .build_adaptive();
+            let out = sim.run_until(informed_everywhere, u64::MAX);
+            (out.interactions, sim.handoffs(), sim.counts().clone())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, run(12).0, "different seeds must diverge");
+    }
+
+    #[test]
+    fn adaptive_stabilization_indices_stay_absolute_across_handoffs() {
+        let warm_up = 2_000u64;
+        let mut sim = SimBuilder::new(OneWayEpidemic::new(256, 1))
+            .seed(9)
+            .adaptive_config(switchy())
+            .build_adaptive();
+        sim.run(warm_up);
+        assert!(sim.handoffs() >= 1, "warm-up must cross the high threshold");
+        let opts = StabilizationOptions::new(256, u64::MAX / 2).confirm_window(5_000);
+        let res = sim.measure_stabilization(informed_everywhere, opts);
+        assert!(res.stabilized());
+        let t = res.stabilized_at.unwrap();
+        // The epidemic needs ≥ n - 1 informing interactions and the sparse
+        // warm-up cannot have finished it, so the absolute index lies past
+        // the warm-up and within this call's executed range.
+        assert!(t > warm_up, "stabilized_at {t} must include the offset");
+        assert!(t <= warm_up + res.interactions);
+        assert_eq!(sim.interactions(), warm_up + res.interactions);
+    }
+
+    #[test]
+    fn adaptive_stall_short_circuits_the_confirm_window_in_batched_mode() {
+        // All informed from the start: predicate holds, nothing can change.
+        // The adaptive engine must detect the stall through its batched
+        // inner engine instead of grinding epochs.
+        let mut sim = AdaptiveSimulation::clean(TwoWayEpidemic::new(32, 32), 1);
+        assert_eq!(sim.current_kind(), EngineKind::Batched);
+        let opts = StabilizationOptions::new(32, u64::MAX / 2).confirm_window(1_000);
+        let res = sim.measure_stabilization(informed_everywhere, opts);
+        assert!(res.stabilized());
+        assert_eq!(res.stabilized_at, Some(0));
+        assert!(res.interactions <= 1_000);
+    }
+
+    #[test]
+    fn adaptive_run_until_budget_exhaustion_reports_unsatisfied() {
+        let mut sim = AdaptiveSimulation::clean(OneWayEpidemic::new(64, 1), 5);
+        let out = sim.run_until(informed_everywhere, 10);
+        assert!(!out.satisfied);
+        assert_eq!(out.interactions, 10);
+    }
+
+    #[test]
+    fn measured_activity_agrees_with_the_batched_engines_exact_answer() {
+        let protocol = TwoWayEpidemic::new(100, 30);
+        let counts =
+            CountConfiguration::from_configuration(&protocol, &Configuration::clean(&protocol));
+        let measured = measured_active_fraction(&protocol, &counts);
+        let sim = BatchSimulation::new(protocol, counts, 0);
+        assert!((measured - sim.active_fraction()).abs() < 1e-12);
+        // 30 informed × 70 uninformed mixed ordered pairs, both orders.
+        assert!((measured - (2.0 * 30.0 * 70.0) / (100.0 * 99.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "low_activity < high_activity")]
+    fn inverted_hysteresis_band_is_rejected() {
+        let config = AdaptiveConfig {
+            low_activity: 0.5,
+            high_activity: 0.1,
+            check_interval: 0,
+        };
+        let _ = SimBuilder::new(OneWayEpidemic::new(8, 1))
+            .adaptive_config(config)
+            .build_adaptive();
+    }
+
+    #[test]
+    fn builder_counts_init_feeds_every_kind() {
+        for kind in [
+            EngineKind::PerStep,
+            EngineKind::Batched,
+            EngineKind::MultiBatch,
+            EngineKind::Auto,
+        ] {
+            let counts = CountConfiguration::from_counts(vec![30, 2]);
+            let mut sim = SimBuilder::new(TwoWayEpidemic::new(32, 1))
+                .counts(counts)
+                .kind(kind)
+                .seed(3)
+                .build();
+            assert_eq!(sim.counts().count(INFORMED), 2, "{kind:?}");
+            let out = sim.run_until(&mut informed_everywhere, u64::MAX);
+            assert!(out.satisfied, "{kind:?}");
+        }
+    }
+}

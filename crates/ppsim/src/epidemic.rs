@@ -7,11 +7,10 @@
 //! constant can be measured (experiment E8), and exposes
 //! [`measure_epidemic_time`] as a reusable helper.
 
-use crate::batched::BatchSimulation;
 use crate::configuration::Configuration;
+use crate::engine::{EngineKind, PerStepEngine, SimBuilder};
 use crate::enumerable::EnumerableProtocol;
 use crate::indexer::SupportEnumerable;
-use crate::multibatch::MultiBatchSimulation;
 use crate::protocol::{AgentId, CleanInit, InteractionCtx, Protocol};
 use crate::simulation::Simulation;
 
@@ -174,13 +173,34 @@ where
     out.satisfied.then_some(out.interactions)
 }
 
+/// Runs one epidemic to completion under the chosen engine tier through the
+/// unified [`crate::engine`] API and returns the completion interaction
+/// count, or `None` if the epidemic did not complete within `budget`.
+///
+/// The engines draw randomness differently, so for equal seeds the returned
+/// times are different samples of the same distribution, and each engine
+/// observes completion at its own
+/// [`crate::engine::SimulationEngine::predicate_granularity`] (exact for
+/// per-step and batched, up to one `O(√n)` epoch late for multi-batch).
+pub fn measure_epidemic_time_with<P>(
+    protocol: P,
+    kind: EngineKind,
+    seed: u64,
+    budget: u64,
+) -> Option<u64>
+where
+    P: EnumerableProtocol<State = bool> + CleanInit + 'static,
+{
+    let mut sim = SimBuilder::new(protocol).kind(kind).seed(seed).build();
+    let out = sim.run_until(&mut |c| c.count(INFORMED) == c.population(), budget);
+    out.satisfied.then_some(out.interactions)
+}
+
 /// Like [`measure_epidemic_time`], but checking completion only every
 /// `check_every` interactions: the returned time is rounded up to the next
-/// check, so it overshoots the true completion by less than `check_every`.
-///
-/// Use this for large populations under the per-step engine, where the
-/// `O(n)` completion predicate evaluated after every interaction would
-/// dominate the simulation itself (`Θ(n²)` total just for checking).
+/// check, so it overshoots the true completion by less than `check_every` —
+/// the [`crate::engine::PredicateGranularity::Every`] contract, served by
+/// the per-step engine's count mirror ([`PerStepEngine`]).
 pub fn measure_epidemic_time_coarse<P>(
     protocol: P,
     seed: u64,
@@ -188,52 +208,33 @@ pub fn measure_epidemic_time_coarse<P>(
     check_every: u64,
 ) -> Option<u64>
 where
-    P: Protocol<State = bool> + CleanInit,
+    P: EnumerableProtocol<State = bool> + CleanInit,
 {
-    let check_every = check_every.max(1);
-    let config = Configuration::clean(&protocol);
-    let mut sim = Simulation::new(protocol, config, seed);
-    while sim.interactions() < budget {
-        let chunk = check_every.min(budget - sim.interactions());
-        if sim.run(chunk) < chunk {
-            return None;
-        }
-        if sim.configuration().all(|s| *s) {
-            return Some(sim.interactions());
-        }
-    }
-    None
+    let mut sim = PerStepEngine::clean(protocol, seed).with_check_every(check_every);
+    let out = sim.run_until(|c| c.count(INFORMED) == c.population(), budget);
+    out.satisfied.then_some(out.interactions)
 }
 
 /// Like [`measure_epidemic_time`], but under the batched count-based engine
-/// ([`BatchSimulation`]) — the variant to use for large populations
-/// (`n ≥ 10⁵`), where it is orders of magnitude faster.
-///
-/// The two engines draw randomness differently, so for equal seeds the
-/// returned times are different samples of the same distribution.
+/// ([`crate::BatchSimulation`]) — the variant to use for large populations
+/// (`n ≥ 10⁵`) once silence dominates. Equivalent to
+/// [`measure_epidemic_time_with`] at [`EngineKind::Batched`].
 pub fn measure_epidemic_time_batched<P>(protocol: P, seed: u64, budget: u64) -> Option<u64>
 where
-    P: EnumerableProtocol<State = bool> + CleanInit,
+    P: EnumerableProtocol<State = bool> + CleanInit + 'static,
 {
-    let mut sim = BatchSimulation::clean(protocol, seed);
-    let out = sim.run_until(|c| c.count(INFORMED) == c.population(), budget);
-    out.satisfied.then_some(out.interactions)
+    measure_epidemic_time_with(protocol, EngineKind::Batched, seed, budget)
 }
 
 /// Like [`measure_epidemic_time`], but under the multi-batch collision
-/// sampler engine ([`MultiBatchSimulation`]) — whole `Θ(√n)` batches of
-/// interactions per statistical draw, the fastest tier while the epidemic is
-/// *dense* (most interactions state-changing or nearly so).
-///
-/// Completion is observed at epoch commits, so the returned time may
-/// overshoot the true completion by up to one epoch (`O(√n)` interactions).
+/// sampler engine ([`crate::MultiBatchSimulation`]) — the fastest tier while
+/// the epidemic is *dense*. Equivalent to [`measure_epidemic_time_with`] at
+/// [`EngineKind::MultiBatch`].
 pub fn measure_epidemic_time_multibatch<P>(protocol: P, seed: u64, budget: u64) -> Option<u64>
 where
-    P: EnumerableProtocol<State = bool> + CleanInit,
+    P: EnumerableProtocol<State = bool> + CleanInit + 'static,
 {
-    let mut sim = MultiBatchSimulation::clean(protocol, seed);
-    let out = sim.run_until(|c| c.count(INFORMED) == c.population(), budget);
-    out.satisfied.then_some(out.interactions)
+    measure_epidemic_time_with(protocol, EngineKind::MultiBatch, seed, budget)
 }
 
 /// The empirical epidemic constant: completion interactions divided by

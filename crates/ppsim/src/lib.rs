@@ -26,6 +26,11 @@
 //!   hypergeometric/multinomial draws over the count vector (plus an exact
 //!   collision correction), the tier of choice when most interactions are
 //!   state-changing and silence-skipping cannot help,
+//! * [`engine`] — the unified engine API: the [`SimulationEngine`] trait
+//!   over all tiers, the [`SimBuilder`] entry point, and
+//!   [`AdaptiveSimulation`] — the `Auto` tier that runs multi-batch while
+//!   activity is high and hands off to the batched engine (and back) at a
+//!   hysteresis threshold,
 //! * [`indexer`] — dynamic state indexing ([`DiscoveredProtocol`],
 //!   [`SupportEnumerable`]): runs the batched engine on protocols whose
 //!   state space is too large to enumerate, assigning indices lazily as
@@ -82,6 +87,7 @@ pub mod coin;
 pub mod configuration;
 pub mod convergence;
 pub mod count_config;
+pub mod engine;
 pub mod enumerable;
 pub mod epidemic;
 pub mod error;
@@ -100,6 +106,10 @@ pub use coin::SyntheticCoin;
 pub use configuration::Configuration;
 pub use convergence::{StabilizationDetector, StabilizationResult};
 pub use count_config::CountConfiguration;
+pub use engine::{
+    AdaptiveConfig, AdaptiveSimulation, EngineKind, PerStepEngine, PredicateGranularity,
+    SimBuilder, SimulationEngine,
+};
 pub use enumerable::EnumerableProtocol;
 pub use error::SimError;
 pub use indexer::{DiscoveredProtocol, SupportEnumerable};

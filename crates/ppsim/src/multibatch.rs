@@ -222,6 +222,16 @@ impl<P: EnumerableProtocol> MultiBatchSimulation<P> {
         self.interactions as f64 / self.counts.population() as f64
     }
 
+    /// Decomposes the simulation into its protocol and current count
+    /// configuration, discarding the RNG and the survival table.
+    ///
+    /// The engine-handoff primitive used by [`crate::AdaptiveSimulation`];
+    /// see [`crate::BatchSimulation::into_parts`] for the accounting
+    /// conventions.
+    pub fn into_parts(self) -> (P, CountConfiguration) {
+        (self.protocol, self.counts)
+    }
+
     /// Grows the count vector when the protocol discovered new states (a
     /// no-op for statically enumerated protocols).
     fn sync_state_space(&mut self) {

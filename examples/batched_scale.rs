@@ -1,5 +1,6 @@
 //! Batched-engine showcase: run a one-way epidemic at a million-agent scale
-//! and compare wall-clock against the per-step engine at the same size.
+//! and compare wall-clock against the per-step engine at the same size —
+//! both through the unified `ppsim::engine` API.
 //!
 //! ```bash
 //! cargo run --release --example batched_scale -- [n] [seed]
@@ -7,11 +8,12 @@
 //!
 //! The per-step comparison is skipped above 10⁷ agents, where it would take
 //! minutes; the batched run stays in the sub-second range because its cost is
-//! proportional to the `n − 1` state-changing interactions only.
+//! proportional to the `n − 1` state-changing interactions only. (The
+//! per-step tier's completion predicate is O(1) per check thanks to its
+//! count mirror, so it no longer needs coarse checking here.)
 
-use ppsim::epidemic::{
-    epidemic_constant, measure_epidemic_time_batched, measure_epidemic_time_coarse, OneWayEpidemic,
-};
+use ppsim::epidemic::{epidemic_constant, measure_epidemic_time_with, OneWayEpidemic};
+use ppsim::EngineKind;
 use std::time::Instant;
 
 fn main() {
@@ -28,8 +30,9 @@ fn main() {
     println!();
 
     let started = Instant::now();
-    let t = measure_epidemic_time_batched(OneWayEpidemic::new(n, 1), seed, budget)
-        .expect("epidemic completes");
+    let t =
+        measure_epidemic_time_with(OneWayEpidemic::new(n, 1), EngineKind::Batched, seed, budget)
+            .expect("epidemic completes");
     let batched_secs = started.elapsed().as_secs_f64();
     println!("batched engine:");
     println!("  completion interactions = {t}");
@@ -47,9 +50,9 @@ fn main() {
         return;
     }
     let started = Instant::now();
-    let check = (n as u64 / 8).max(256);
-    let t = measure_epidemic_time_coarse(OneWayEpidemic::new(n, 1), seed, budget, check)
-        .expect("epidemic completes");
+    let t =
+        measure_epidemic_time_with(OneWayEpidemic::new(n, 1), EngineKind::PerStep, seed, budget)
+            .expect("epidemic completes");
     let per_step_secs = started.elapsed().as_secs_f64();
     println!("per-step engine:");
     println!("  completion interactions = {t}");

@@ -1,18 +1,20 @@
-//! `ElectLeader_r` under the batched engine via the dynamic state indexer.
+//! `ElectLeader_r` under the count-based engines via the dynamic state
+//! indexer, through the unified `ppsim::engine` API.
 //!
 //! The protocol's reachable state space is far too large to enumerate, so
 //! the classic batched-engine route (a hand-written `EnumerableProtocol`
 //! bijection) is closed; [`DiscoveredProtocol`] opens it by assigning state
 //! indices lazily as states are first reached. This example measures the
-//! stabilization time of the correct-ranking predicate and reports how many
+//! stabilization time of the correct-ranking predicate under any engine
+//! tier (`batched`, `multibatch`, `auto`, `per-step`) and reports how many
 //! states were actually discovered — a tiny corner of the nominal space.
 //!
 //! ```bash
-//! cargo run --release --example discovered_electleader -- [n] [r] [trials]
+//! cargo run --release --example discovered_electleader -- [n] [r] [trials] [engine]
 //! ```
 
 use ppsim::simulation::StabilizationOptions;
-use ppsim::{BatchSimulation, DiscoveredProtocol, EnumerableProtocol};
+use ppsim::{DiscoveredProtocol, EngineKind, EnumerableProtocol, SimBuilder};
 use ssle_core::{output, ElectLeader};
 use std::time::Instant;
 
@@ -24,27 +26,37 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or_else(|| (n / 4).max(1));
     let trials: u64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let kind = args
+        .get(3)
+        .and_then(|a| EngineKind::parse(a))
+        .unwrap_or(EngineKind::Batched);
 
-    println!("ElectLeader_{r} on n = {n} agents, batched via dynamic indexing");
+    println!(
+        "ElectLeader_{r} on n = {n} agents, {} engine via dynamic indexing",
+        kind.label()
+    );
     for trial in 0..trials {
         let protocol = ElectLeader::with_n_r(n, r).expect("valid parameters");
         let budget = protocol.params().suggested_budget();
         let discovered = DiscoveredProtocol::new(protocol);
         let handle = discovered.clone();
-        let mut sim = BatchSimulation::clean(discovered, 0xE11 + trial);
+        let mut sim = SimBuilder::new(discovered)
+            .kind(kind)
+            .seed(0xE11 + trial)
+            .build();
         let started = Instant::now();
         let result = sim.measure_stabilization(
-            |c| output::is_correct_output_counts(&handle, c),
+            &mut |c| output::is_correct_output_counts(&handle, c),
             StabilizationOptions::new(n, budget),
         );
         let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
         match result.stabilized_at {
             Some(at) => println!(
                 "  trial {trial}: stabilized at interaction {at} \
-                 (parallel time {:.1}), {} active of {} executed, \
+                 (parallel time {:.1}), {} of {} executed before the stop, \
                  {} states discovered, {wall_ms:.0} ms",
                 at as f64 / n as f64,
-                sim.active_interactions(),
+                at.min(result.interactions),
                 result.interactions,
                 sim.protocol().num_states(),
             ),

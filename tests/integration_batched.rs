@@ -1,30 +1,30 @@
-//! Integration tests for the batched count-based engine: statistical
-//! equivalence with the per-step engine, and determinism regressions.
+//! Integration tests for the count-based engines behind the unified
+//! `ppsim::engine` API: statistical equivalence with the per-step engine,
+//! and determinism regressions.
 //!
-//! The two engines draw randomness differently, so equal seeds give
-//! different trajectories; what must agree is the *distribution* of
-//! observables. The epidemic completion time is the sharpest such observable
-//! available in closed form (mean ≈ 2·n·ln n for the one-way epidemic), so
-//! the equivalence tests compare completion-time samples of both engines by
+//! The engines draw randomness differently, so equal seeds give different
+//! trajectories; what must agree is the *distribution* of observables. The
+//! epidemic completion time is the sharpest such observable available in
+//! closed form (mean ≈ 2·n·ln n for the one-way epidemic), so the
+//! equivalence tests compare completion-time samples of the engines by
 //! mean, variance, and a two-sample Kolmogorov–Smirnov distance; the same
 //! statistics cover the enumerated baselines (direct-collision ranking,
 //! loosely-stabilizing leader election) and — via the dynamic state indexer
-//! (`ppsim::DiscoveredProtocol`) — `ElectLeader_r` itself. All seeds are
-//! fixed, so these tests are deterministic — the tolerances carry wide
-//! margins over the observed statistics rather than guarding against flake.
+//! (`ppsim::DiscoveredProtocol`) — `ElectLeader_r` itself. Every arm of
+//! every comparison — the `Auto` adaptive tier included — goes through
+//! `ppsim::SimBuilder`; there is no per-engine dispatch in this file. All
+//! seeds are fixed, so these tests are deterministic — the tolerances carry
+//! wide margins over the observed statistics rather than guarding against
+//! flake.
 
-use analysis::Engine;
 use baselines::{DirectCollisionSsle, LooselyStabilizingLe};
-use ppsim::epidemic::{
-    measure_epidemic_time, measure_epidemic_time_batched, measure_epidemic_time_multibatch,
-    OneWayEpidemic,
-};
+use ppsim::epidemic::{measure_epidemic_time_with, OneWayEpidemic};
 use ppsim::rng::derive_seed;
 use ppsim::simulation::StabilizationOptions;
 use ppsim::stats::ks_distance;
 use ppsim::{
-    BatchSimulation, Configuration, CountConfiguration, DiscoveredProtocol, MultiBatchSimulation,
-    Simulation, Summary,
+    AdaptiveConfig, BatchSimulation, CountConfiguration, DiscoveredProtocol, EngineKind,
+    MultiBatchSimulation, SimBuilder, Summary,
 };
 use ssle_core::{output, ElectLeader};
 
@@ -32,17 +32,26 @@ const N: usize = 512;
 const TRIALS: u64 = 48;
 const BASE_SEED: u64 = 0xBA7C_4ED0;
 
-fn completion_samples(engine: Engine) -> Vec<f64> {
+/// An adaptive policy whose hysteresis band sits inside the test
+/// populations' activity range, with a tight check interval — so the `Auto`
+/// arms below exercise *real* handoffs (batched → multi-batch → batched for
+/// a sparse epidemic), not a degenerate single-engine run. The equivalence
+/// margins then certify that the handoff itself is distribution-preserving.
+fn switchy() -> AdaptiveConfig {
+    AdaptiveConfig {
+        low_activity: 0.05,
+        high_activity: 0.10,
+        check_interval: 256,
+    }
+}
+
+fn completion_samples(engine: EngineKind) -> Vec<f64> {
     (0..TRIALS)
         .map(|trial| {
             let seed = derive_seed(BASE_SEED, trial);
             let protocol = OneWayEpidemic::new(N, 1);
-            let t = match engine {
-                Engine::PerStep => measure_epidemic_time(protocol, seed, u64::MAX),
-                Engine::Batched => measure_epidemic_time_batched(protocol, seed, u64::MAX),
-                Engine::MultiBatch => measure_epidemic_time_multibatch(protocol, seed, u64::MAX),
-            };
-            t.expect("epidemic completes") as f64
+            measure_epidemic_time_with(protocol, engine, seed, u64::MAX)
+                .expect("epidemic completes") as f64
         })
         .collect()
 }
@@ -69,8 +78,8 @@ fn assert_distributions_agree(
 
 #[test]
 fn engines_agree_on_the_completion_time_distribution() {
-    let per_step = completion_samples(Engine::PerStep);
-    let batched = completion_samples(Engine::Batched);
+    let per_step = completion_samples(EngineKind::PerStep);
+    let batched = completion_samples(EngineKind::Batched);
     let s_ps = Summary::of(&per_step);
     let s_b = Summary::of(&batched);
 
@@ -109,8 +118,8 @@ fn engines_agree_on_the_completion_time_distribution() {
 /// tolerances.
 #[test]
 fn multibatch_agrees_on_the_completion_time_distribution() {
-    let per_step = completion_samples(Engine::PerStep);
-    let multibatch = completion_samples(Engine::MultiBatch);
+    let per_step = completion_samples(EngineKind::PerStep);
+    let multibatch = completion_samples(EngineKind::MultiBatch);
     assert_distributions_agree(
         "multi-batch epidemic completion time",
         &per_step,
@@ -120,38 +129,56 @@ fn multibatch_agrees_on_the_completion_time_distribution() {
     );
 }
 
-/// Same statistical-equivalence check for the direct-collision SSLE baseline
-/// (which got its `EnumerableProtocol` impl in PR 2 but no cross-engine
-/// distribution test): the observable is the time until the presumed ranks
-/// first form a permutation, starting from the worst-case all-rank-1
-/// configuration.
-fn direct_collision_samples(engine: Engine, n: usize, trials: u64) -> Vec<f64> {
+/// The adaptive `Auto` engine produces the same epidemic completion-time
+/// distribution as the per-step engine while actually switching engines
+/// mid-run: under the forced [`switchy`] policy a sparse epidemic starts
+/// batched, hands off to multi-batch through the dense middle, and hands
+/// back once silence dominates. Passing at the fixed engines' margins is
+/// the statistical-exactness check of the handoff itself.
+#[test]
+fn auto_agrees_on_the_completion_time_distribution() {
+    let per_step = completion_samples(EngineKind::PerStep);
+    let auto: Vec<f64> = (0..TRIALS)
+        .map(|trial| {
+            let seed = derive_seed(BASE_SEED, trial);
+            let mut sim = SimBuilder::new(OneWayEpidemic::new(N, 1))
+                .seed(seed)
+                .adaptive_config(switchy())
+                .build_adaptive();
+            let out = sim.run_until(|c| c.count(1) == c.population(), u64::MAX);
+            assert!(out.satisfied);
+            assert!(
+                sim.handoffs() >= 2,
+                "trial {trial}: expected real handoffs, got {}",
+                sim.handoffs()
+            );
+            out.interactions as f64
+        })
+        .collect();
+    assert_distributions_agree(
+        "adaptive epidemic completion time",
+        &per_step,
+        &auto,
+        0.12,
+        0.33,
+    );
+}
+
+/// Same statistical-equivalence check for the direct-collision SSLE
+/// baseline: the observable is the time until the presumed ranks first form
+/// a permutation, starting from the worst-case all-rank-1 configuration.
+/// One `SimBuilder` path serves every engine arm; `Auto` uses the forced
+/// switching policy.
+fn direct_collision_samples(engine: EngineKind, n: usize, trials: u64) -> Vec<f64> {
     (0..trials)
         .map(|trial| {
             let seed = derive_seed(BASE_SEED ^ 0xD1, trial);
-            let protocol = DirectCollisionSsle::new(n);
-            let permutation_counts = |c: &CountConfiguration| c.counts().iter().all(|&c| c == 1);
-            let out = match engine {
-                Engine::Batched => {
-                    let mut sim = BatchSimulation::clean(protocol, seed);
-                    sim.run_until(permutation_counts, u64::MAX)
-                }
-                Engine::MultiBatch => {
-                    let mut sim = MultiBatchSimulation::clean(protocol, seed);
-                    sim.run_until(permutation_counts, u64::MAX)
-                }
-                Engine::PerStep => {
-                    let mut sim = Simulation::new(protocol, Configuration::clean(&protocol), seed);
-                    sim.run_until(
-                        |c| {
-                            let mut seen = vec![false; n + 1];
-                            c.iter()
-                                .all(|&rank| !std::mem::replace(&mut seen[rank as usize], true))
-                        },
-                        u64::MAX,
-                    )
-                }
-            };
+            let mut sim = SimBuilder::new(DirectCollisionSsle::new(n))
+                .kind(engine)
+                .seed(seed)
+                .adaptive_config(switchy())
+                .build();
+            let out = sim.run_until(&mut |c| c.counts().iter().all(|&c| c == 1), u64::MAX);
             assert!(out.satisfied);
             out.interactions as f64
         })
@@ -163,8 +190,8 @@ fn engines_agree_on_direct_collision_permutation_times() {
     // The last-collision phase is heavy-tailed, so the mean needs more
     // samples than the other observables to settle.
     let (n, trials) = (24usize, 48u64);
-    let per_step = direct_collision_samples(Engine::PerStep, n, trials);
-    let batched = direct_collision_samples(Engine::Batched, n, trials);
+    let per_step = direct_collision_samples(EngineKind::PerStep, n, trials);
+    let batched = direct_collision_samples(EngineKind::Batched, n, trials);
     // 48 samples per engine: the KS 1% critical value is ≈ 0.33; the
     // observed statistics (3.6% mean difference, KS 0.083) sit far inside.
     assert_distributions_agree(
@@ -179,11 +206,21 @@ fn engines_agree_on_direct_collision_permutation_times() {
     // draw while multi-batch resolves Θ(√n) interactions at once. The
     // permutation time is observed at epoch commits (granularity ≈ √24 ≈ 5
     // interactions on a mean of several hundred).
-    let multibatch = direct_collision_samples(Engine::MultiBatch, n, trials);
+    let multibatch = direct_collision_samples(EngineKind::MultiBatch, n, trials);
     assert_distributions_agree(
         "direct-collision permutation time (multi-batch)",
         &per_step,
         &multibatch,
+        0.20,
+        0.33,
+    );
+    // Auto arm: the all-active start selects multi-batch initially and the
+    // spreading ranks hand off to batched as the diagonal thins out.
+    let auto = direct_collision_samples(EngineKind::Auto, n, trials);
+    assert_distributions_agree(
+        "direct-collision permutation time (auto)",
+        &per_step,
+        &auto,
         0.20,
         0.33,
     );
@@ -197,25 +234,21 @@ fn engines_agree_on_loose_le_recovery_times() {
     let n = 48usize;
     let trials = 24u64;
     let timer_max = 200u32;
-    let sample = |batched: bool| -> Vec<f64> {
+    let sample = |engine: EngineKind| -> Vec<f64> {
         (0..trials)
             .map(|trial| {
                 let seed = derive_seed(BASE_SEED ^ 0x10, trial);
                 let protocol = LooselyStabilizingLe::with_timer_max(n, timer_max);
-                let out = if batched {
-                    let handle = protocol;
-                    let mut sim = BatchSimulation::clean(protocol, seed);
-                    sim.run_until(|c| c.count_where(&handle, |s| s.leader) == 1, u64::MAX)
-                } else {
-                    let mut sim = Simulation::new(protocol, Configuration::clean(&protocol), seed);
-                    sim.run_until(|c| c.count_where(|s| s.leader) == 1, u64::MAX)
-                };
+                let handle = protocol;
+                let mut sim = SimBuilder::new(protocol).kind(engine).seed(seed).build();
+                let out =
+                    sim.run_until(&mut |c| c.count_where(&handle, |s| s.leader) == 1, u64::MAX);
                 assert!(out.satisfied);
                 out.interactions as f64
             })
             .collect()
     };
-    let (per_step, batched) = (sample(false), sample(true));
+    let (per_step, batched) = (sample(EngineKind::PerStep), sample(EngineKind::Batched));
     assert_distributions_agree(
         "loosely-stabilizing recovery time",
         &per_step,
@@ -226,41 +259,25 @@ fn engines_agree_on_loose_le_recovery_times() {
 }
 
 /// The acceptance check of the dynamic state indexer: `ElectLeader_r` itself
-/// runs under `BatchSimulation` via `DiscoveredProtocol` — with no up-front
+/// runs under the count engines via `DiscoveredProtocol` — with no up-front
 /// `|Q|²` enumeration — and its stabilization-time distribution matches the
-/// per-step engine's.
-fn elect_leader_samples(engine: Engine, n: usize, r: usize, trials: u64) -> Vec<f64> {
+/// per-step engine's. One `SimBuilder` path serves every engine arm.
+fn elect_leader_samples(engine: EngineKind, n: usize, r: usize, trials: u64) -> Vec<f64> {
     (0..trials)
         .map(|trial| {
             let seed = derive_seed(BASE_SEED ^ 0xE1, trial);
             let protocol = ElectLeader::with_n_r(n, r).expect("valid parameters");
             let budget = protocol.params().suggested_budget();
             let opts = StabilizationOptions::new(n, budget);
-            let result = match engine {
-                Engine::Batched => {
-                    let discovered = DiscoveredProtocol::new(protocol);
-                    let handle = discovered.clone();
-                    let mut sim = BatchSimulation::clean(discovered, seed);
-                    sim.measure_stabilization(
-                        |c| output::is_correct_output_counts(&handle, c),
-                        opts,
-                    )
-                }
-                Engine::MultiBatch => {
-                    let discovered = DiscoveredProtocol::new(protocol);
-                    let handle = discovered.clone();
-                    let mut sim = MultiBatchSimulation::clean(discovered, seed);
-                    sim.measure_stabilization(
-                        |c| output::is_correct_output_counts(&handle, c),
-                        opts,
-                    )
-                }
-                Engine::PerStep => {
-                    let config = Configuration::clean(&protocol);
-                    let mut sim = Simulation::new(protocol, config, seed);
-                    sim.measure_stabilization(output::is_correct_output, opts)
-                }
-            };
+            let discovered = DiscoveredProtocol::new(protocol);
+            let handle = discovered.clone();
+            let mut sim = SimBuilder::new(discovered)
+                .kind(engine)
+                .seed(seed)
+                .adaptive_config(switchy())
+                .build();
+            let result = sim
+                .measure_stabilization(&mut |c| output::is_correct_output_counts(&handle, c), opts);
             result.stabilized_at.expect("instance stabilizes") as f64
         })
         .collect()
@@ -270,8 +287,8 @@ fn elect_leader_samples(engine: Engine, n: usize, r: usize, trials: u64) -> Vec<
 fn engines_agree_on_elect_leader_stabilization_times() {
     let (n, r) = (12usize, 3usize);
     let trials = 16u64;
-    let per_step = elect_leader_samples(Engine::PerStep, n, r, trials);
-    let batched = elect_leader_samples(Engine::Batched, n, r, trials);
+    let per_step = elect_leader_samples(EngineKind::PerStep, n, r, trials);
+    let batched = elect_leader_samples(EngineKind::Batched, n, r, trials);
     // 16 samples per engine: KS 1% critical ≈ 0.58; stabilization times have
     // a ~15% coefficient of variation, so a 25% mean tolerance is > 4σ.
     assert_distributions_agree(
@@ -292,12 +309,32 @@ fn engines_agree_on_elect_leader_stabilization_times() {
 fn multibatch_agrees_on_elect_leader_stabilization_times() {
     let (n, r) = (12usize, 3usize);
     let trials = 16u64;
-    let per_step = elect_leader_samples(Engine::PerStep, n, r, trials);
-    let multibatch = elect_leader_samples(Engine::MultiBatch, n, r, trials);
+    let per_step = elect_leader_samples(EngineKind::PerStep, n, r, trials);
+    let multibatch = elect_leader_samples(EngineKind::MultiBatch, n, r, trials);
     assert_distributions_agree(
         "ElectLeader_r stabilization time (multi-batch)",
         &per_step,
         &multibatch,
+        0.25,
+        0.58,
+    );
+}
+
+/// The adaptive engine on the paper's own protocol: high pre-stabilization
+/// activity runs multi-batch, the silent confirmation window after
+/// stabilization hands off to the batched engine's geometric skipping —
+/// and the stabilization-time distribution still matches the per-step
+/// engine's at the fixed engines' margins.
+#[test]
+fn auto_agrees_on_elect_leader_stabilization_times() {
+    let (n, r) = (12usize, 3usize);
+    let trials = 16u64;
+    let per_step = elect_leader_samples(EngineKind::PerStep, n, r, trials);
+    let auto = elect_leader_samples(EngineKind::Auto, n, r, trials);
+    assert_distributions_agree(
+        "ElectLeader_r stabilization time (auto)",
+        &per_step,
+        &auto,
         0.25,
         0.58,
     );
@@ -371,6 +408,63 @@ fn multibatch_trajectory_snapshot_is_stable() {
     assert_eq!(sim.counts().counts(), &[0, 256]);
     assert_eq!(out.interactions, 3_065, "trajectory snapshot moved");
     assert_eq!(sim.epochs(), 284, "epoch-count snapshot moved");
+}
+
+/// Determinism of the adaptive engine, handoffs included: a fixed seed
+/// reproduces the interaction count, the handoff count, and the final
+/// counts bit-for-bit (switching decisions depend only on simulation state,
+/// never on wall-clock measurements).
+#[test]
+fn auto_fixed_seed_reproduces_the_exact_trajectory() {
+    let run = |seed: u64| -> (u64, u64, CountConfiguration) {
+        let mut sim = SimBuilder::new(OneWayEpidemic::new(N, 1))
+            .seed(seed)
+            .adaptive_config(switchy())
+            .build_adaptive();
+        let out = sim.run_until(|c| c.count(1) == c.population(), u64::MAX);
+        assert!(out.satisfied);
+        (out.interactions, sim.handoffs(), sim.counts().clone())
+    };
+    let (interactions, handoffs, counts) = run(123);
+    assert_eq!(run(123), (interactions, handoffs, counts));
+    assert!(handoffs >= 2, "the sparse epidemic must hand off both ways");
+    assert_ne!(run(124).0, interactions, "different seeds must diverge");
+}
+
+/// The handoff-boundary regression: an adaptive run driven in small uneven
+/// budget slices must keep its absolute interaction index exact across a
+/// switch (the retired engine's counter is carried over, the budget is never
+/// over- or under-spent), and a warm-started stabilization measurement after
+/// a handoff must still report absolute indices.
+#[test]
+fn auto_handoff_preserves_absolute_interaction_indices() {
+    let mut sim = SimBuilder::new(OneWayEpidemic::new(N, 1))
+        .seed(7)
+        .adaptive_config(switchy())
+        .build_adaptive();
+    // Drive the run in slices misaligned with the 256-interaction check
+    // interval so handoffs land mid-slice.
+    let mut total = 0u64;
+    for chunk in [100u64, 333, 500, 777, 1_000, 123] {
+        sim.run(chunk);
+        total += chunk;
+        assert_eq!(sim.interactions(), total, "absolute index drifted");
+    }
+    assert!(sim.handoffs() >= 1, "the warm-up must cross the threshold");
+    let handoffs_before = sim.handoffs();
+    // Warm-started measurement: stabilized_at is absolute (includes the
+    // warm-up), within this call's executed range.
+    let opts = StabilizationOptions::new(N, u64::MAX / 2).confirm_window(5_000);
+    let res = sim.measure_stabilization(|c| c.count(1) == c.population(), opts);
+    assert!(res.stabilized());
+    let t = res.stabilized_at.unwrap();
+    assert!(t > total, "stabilized_at {t} must include the warm-up");
+    assert!(t <= total + res.interactions);
+    assert_eq!(sim.interactions(), total + res.interactions);
+    // The completed epidemic is silent: the engine must have handed back to
+    // batched (which then short-circuits the confirmation window on stall).
+    assert_eq!(sim.current_kind(), EngineKind::Batched);
+    assert!(sim.handoffs() >= handoffs_before);
 }
 
 /// The count representation and the per-agent representation describe the
