@@ -13,10 +13,13 @@
 //!   (synthetic-coin quality, Appendix B),
 //! * [`scaling`] — E10 (batched vs per-step engine throughput at large `n`),
 //! * [`discovered`] — E11 (`ElectLeader_r` stabilization curves under the
-//!   batched engine via dynamic state indexing).
+//!   batched engine via dynamic state indexing),
+//! * [`fleet`] — F1 (trial-fleet throughput: trials/sec at 1 vs N worker
+//!   threads, with an inline bit-identity check on the aggregates).
 
 pub mod comparison;
 pub mod discovered;
+pub mod fleet;
 pub mod recovery;
 pub mod reset;
 pub mod scaling;
@@ -45,12 +48,15 @@ pub fn all(scale: Scale) -> Vec<Table> {
         substrate::e9_coin(scale),
         scaling::e10_engine_scale(scale),
         discovered::e11_discovered_curves(scale),
+        fleet::f1_fleet_throughput(scale),
     ]
 }
 
-/// Looks up a single experiment by its identifier (`"e1"` … `"e11"`).
+/// Looks up a single experiment by its identifier (`"e1"` … `"e11"`, or
+/// `"fleet"` for the F1 fleet-throughput table).
 pub fn by_id(id: &str, scale: Scale) -> Option<Table> {
     match id {
+        "fleet" => Some(fleet::f1_fleet_throughput(scale)),
         "e10" => Some(scaling::e10_engine_scale(scale)),
         "e11" => Some(discovered::e11_discovered_curves(scale)),
         "e1" => Some(tradeoff::e1_tradeoff_time(scale)),

@@ -2,11 +2,12 @@
 //!
 //! Experiments repeat every measurement over several independent trials.
 //! [`run_trials`] derives one seed per trial from a base seed (so every table
-//! row is reproducible bit-for-bit) and executes the trials on worker threads
-//! via [`std::thread::scope`].
+//! row is reproducible bit-for-bit) and fans the trials out across worker
+//! threads through [`ppsim::TrialFleet`] — thread count follows
+//! `RAYON_NUM_THREADS`/`available_parallelism`, and outcomes come back in
+//! trial order regardless of scheduling.
 
-use ppsim::rng::derive_seed;
-use ppsim::Summary;
+use ppsim::{Summary, TrialFleet};
 use serde::Serialize;
 
 /// The outcome of a single trial of a stabilization experiment.
@@ -58,51 +59,14 @@ impl TrialSummary {
 }
 
 /// Runs `trials` independent trials of `trial` in parallel, one derived seed
-/// per trial, and returns the outcomes in trial order.
+/// per trial (`derive_seed(base_seed, index)` — the [`TrialFleet`] seeding
+/// contract), and returns the outcomes in trial order.
 pub fn run_trials<F>(trials: usize, base_seed: u64, trial: F) -> Vec<TrialOutcome>
 where
     F: Fn(u64) -> TrialOutcome + Sync,
 {
     assert!(trials > 0, "need at least one trial");
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(trials);
-    let mut outcomes: Vec<Option<TrialOutcome>> = vec![None; trials];
-    {
-        let trial = &trial;
-        let chunks: Vec<&mut [Option<TrialOutcome>]> = split_chunks(&mut outcomes, workers);
-        let mut start_index = 0;
-        let starts: Vec<usize> = chunks
-            .iter()
-            .map(|c| {
-                let s = start_index;
-                start_index += c.len();
-                s
-            })
-            .collect();
-        std::thread::scope(|scope| {
-            for (chunk, start) in chunks.into_iter().zip(starts) {
-                scope.spawn(move || {
-                    for (offset, slot) in chunk.iter_mut().enumerate() {
-                        let index = start + offset;
-                        *slot = Some(trial(derive_seed(base_seed, index as u64)));
-                    }
-                });
-            }
-        });
-    }
-    outcomes
-        .into_iter()
-        .map(|o| o.expect("trial ran"))
-        .collect()
-}
-
-fn split_chunks<T>(slice: &mut [T], parts: usize) -> Vec<&mut [T]> {
-    let len = slice.len();
-    let parts = parts.max(1).min(len.max(1));
-    let chunk = len.div_ceil(parts);
-    slice.chunks_mut(chunk.max(1)).collect()
+    TrialFleet::new(trials, base_seed).run(trial)
 }
 
 /// Aggregates trial outcomes into a [`TrialSummary`].

@@ -1,0 +1,70 @@
+//! Guard bench for the trial-fleet layer: wall-clock of the same fleet
+//! workload at 1 worker thread versus all available threads.
+//!
+//! The fleet's performance claim is that independent seeded trials scale
+//! with cores — the `threads/1` vs `threads/N` rows are the trials/sec
+//! comparison in Criterion form. A regression of the vendored rayon executor
+//! (lost parallelism, chunk-claim contention, oversized chunks serializing
+//! the tail) shows up as the N-thread row drifting up toward the 1-thread
+//! row. On a single-core runner the two rows coincide — the bench still
+//! guards the fleet's fixed overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppsim::epidemic::{measure_epidemic_time_with, OneWayEpidemic};
+use ppsim::{EngineKind, TrialFleet};
+use std::time::Duration;
+
+const N: usize = 1_024;
+const TRIALS: usize = 64;
+const BASE_SEED: u64 = 0xF1EE7;
+
+fn budget(n: usize) -> u64 {
+    let nf = n as f64;
+    (50.0 * nf * nf.ln()).ceil() as u64
+}
+
+/// One fleet pass: every trial completes a one-way epidemic under the auto
+/// engine and the fleet aggregates completion parallel times.
+fn run_fleet(base_seed: u64) -> f64 {
+    let stats = TrialFleet::new(TRIALS, base_seed).run_stats(|seed| {
+        measure_epidemic_time_with(OneWayEpidemic::new(N, 1), EngineKind::Auto, seed, budget(N))
+            .map(|interactions| interactions as f64 / N as f64)
+    });
+    assert_eq!(stats.successes, TRIALS as u64);
+    stats.value.mean()
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let available = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize];
+    if available >= 2 {
+        thread_counts.push(available);
+    }
+
+    let mut group = c.benchmark_group("fleet_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    for threads in thread_counts {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("pool builds");
+                let mut round = 0u64;
+                b.iter(|| {
+                    round += 1;
+                    pool.install(|| run_fleet(BASE_SEED.wrapping_add(round)))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -6,8 +6,9 @@
 //! cargo run --release -p bench --bin experiments -- e4 quick --csv results/
 //! ```
 //!
-//! The first argument selects the experiment (`e1` … `e11` or `all`), the
-//! second the scale (`tiny`, `quick`, `full`; default `quick`). With
+//! The first argument selects the experiment (`e1` … `e11`, `fleet`, or
+//! `all`), the second the scale (`tiny`, `quick`, `full`; default `quick`).
+//! With
 //! `--csv <dir>` every table is additionally written as a CSV file and as a
 //! JSON document into the given directory.
 
@@ -92,7 +93,7 @@ fn main() {
 }
 
 fn print_usage() {
-    eprintln!("usage: experiments [e1|e2|...|e11|all] [tiny|quick|full] [--csv <dir>]");
+    eprintln!("usage: experiments [e1|e2|...|e11|fleet|all] [tiny|quick|full] [--csv <dir>]");
     eprintln!();
     eprintln!("  e1  stabilization time vs r          (Theorem 1.1, time axis)");
     eprintln!("  e2  state-space size vs r            (Theorem 1.1, space axis)");
@@ -105,4 +106,5 @@ fn print_usage() {
     eprintln!("  e9  synthetic-coin quality           (Appendix B)");
     eprintln!("  e10 engine scale sweep: batched vs multi-batch vs per-step at large n");
     eprintln!("  e11 ElectLeader_r stabilization curves + r trade-off surface (dynamic indexing)");
+    eprintln!("  fleet trial-fleet throughput: trials/sec at 1 vs N worker threads");
 }

@@ -35,6 +35,10 @@
 //!   [`SupportEnumerable`]): runs the batched engine on protocols whose
 //!   state space is too large to enumerate, assigning indices lazily as
 //!   states are first reached,
+//! * [`fleet`] — [`TrialFleet`]: parallel fan-out of independent seeded
+//!   trials over [`SimBuilder`]-built engines across worker threads, with
+//!   merge-able streaming statistics ([`FleetStats`]) whose results are
+//!   bit-identical regardless of thread count,
 //! * [`adversary`] — combinators for arbitrary (adversarial) initial
 //!   configurations, as required for *self-stabilization* experiments,
 //! * [`epidemic`] — one-way/two-way epidemic protocols and measurement helpers
@@ -91,6 +95,7 @@ pub mod engine;
 pub mod enumerable;
 pub mod epidemic;
 pub mod error;
+pub mod fleet;
 pub mod indexer;
 pub mod metrics;
 pub mod multibatch;
@@ -112,6 +117,7 @@ pub use engine::{
 };
 pub use enumerable::EnumerableProtocol;
 pub use error::SimError;
+pub use fleet::{FleetStats, KsReservoir, RunningStats, TrialFleet};
 pub use indexer::{DiscoveredProtocol, SupportEnumerable};
 pub use metrics::InteractionMetrics;
 pub use multibatch::MultiBatchSimulation;

@@ -59,6 +59,21 @@ pub fn uniform_below(rng: &mut dyn RngCore, bound: u64) -> u64 {
 ///
 /// Uses the SplitMix64 finalizer, which maps distinct inputs to
 /// well-distributed outputs.
+///
+/// # Collision behavior
+///
+/// For a **fixed base**, distinct indices always produce distinct seeds — no
+/// two trials of a fleet can share an RNG stream. The pre-mix
+/// `base + GAMMA · (index + 1)` is injective in `index` modulo 2⁶⁴ because
+/// the SplitMix64 increment `GAMMA = 0x9E37_79B9_7F4A_7C15` is odd (odd
+/// multipliers are units mod 2⁶⁴), and the finalizer that follows is a
+/// bijection on `u64` (each xor-shift `z ^ (z >> k)` and each odd-constant
+/// multiplication is invertible). Composing an injection with bijections
+/// stays injective, so `index ↦ derive_seed(base, index)` is a permutation
+/// restriction. Across *different* bases collisions are possible (two
+/// 64-bit families must overlap by pigeonhole) but occur at the 2⁻⁶⁴
+/// birthday rate; experiment families avoid even that by xor-tagging their
+/// bases (e.g. `base ^ 0xE11`).
 pub fn derive_seed(base: u64, index: u64) -> u64 {
     let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -95,6 +110,23 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), seeds.len());
+    }
+
+    /// Regression for the documented no-collision guarantee at fleet scale:
+    /// a fixed base with 100k consecutive indices (plus extremes that stress
+    /// the wrapping pre-mix) yields 100% distinct seeds.
+    #[test]
+    fn derive_seed_injective_per_base_at_fleet_scale() {
+        for base in [0u64, 0xBA7C_4ED0, u64::MAX] {
+            let mut seeds: Vec<u64> = (0..100_000u64)
+                .chain([u64::MAX - 2, u64::MAX - 1, u64::MAX])
+                .map(|i| derive_seed(base, i))
+                .collect();
+            let expected = seeds.len();
+            seeds.sort_unstable();
+            seeds.dedup();
+            assert_eq!(seeds.len(), expected, "seed collision under base {base:#x}");
+        }
     }
 
     #[test]

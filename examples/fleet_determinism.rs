@@ -1,0 +1,93 @@
+//! Fleet determinism probe: runs a fixed `TrialFleet` workload and prints
+//! the aggregated statistics as a **timing-free CSV with exact bit
+//! patterns**, so runs at different thread counts can be diffed
+//! byte-for-byte.
+//!
+//! ```bash
+//! RAYON_NUM_THREADS=1 cargo run --release --example fleet_determinism > one.csv
+//! RAYON_NUM_THREADS=4 cargo run --release --example fleet_determinism > four.csv
+//! cmp one.csv four.csv   # must be identical
+//! ```
+//!
+//! This is the workload behind the CI `fleet-determinism` job. Every float
+//! is rendered through `f64::to_bits` (hex), so even a one-ulp divergence
+//! between schedules breaks the diff; there are no wall-clock columns to
+//! launder nondeterminism through. The thread count is *reported* on stderr
+//! only, keeping stdout identical across configurations.
+//!
+//! Two workloads cover both count-engine paths: a one-way epidemic under the
+//! `Auto` tier (adaptive handoffs included) and an `ElectLeader_r` cell via
+//! the dynamic state indexer (the Rc-based `DiscoveredProtocol` is built
+//! inside each trial closure — per-worker, never shared).
+
+use ppsim::epidemic::{measure_epidemic_time_with, OneWayEpidemic};
+use ppsim::simulation::StabilizationOptions;
+use ppsim::{DiscoveredProtocol, EngineKind, FleetStats, SimBuilder, TrialFleet};
+use ssle_core::{output, ElectLeader};
+
+const BASE_SEED: u64 = 0xDE7E_2141;
+
+fn epidemic_stats(trials: usize, n: usize) -> FleetStats {
+    let nf = n as f64;
+    let budget = (50.0 * nf * nf.ln().max(1.0)).ceil() as u64;
+    TrialFleet::new(trials, BASE_SEED).run_stats(|seed| {
+        measure_epidemic_time_with(OneWayEpidemic::new(n, 1), EngineKind::Auto, seed, budget)
+            .map(|interactions| interactions as f64 / nf)
+    })
+}
+
+fn elect_leader_stats(trials: usize, n: usize, r: usize) -> FleetStats {
+    TrialFleet::new(trials, BASE_SEED ^ 0xE1).run_stats(|seed| {
+        let protocol = ElectLeader::with_n_r(n, r).expect("valid parameters");
+        let budget = protocol.params().suggested_budget();
+        let opts = StabilizationOptions::new(n, budget);
+        let discovered = DiscoveredProtocol::new(protocol);
+        let handle = discovered.clone();
+        let mut sim = SimBuilder::new(discovered)
+            .kind(EngineKind::Batched)
+            .seed(seed)
+            .build();
+        let result =
+            sim.measure_stabilization(&mut |c| output::is_correct_output_counts(&handle, c), opts);
+        result.stabilized_at.map(|t| t as f64 / n as f64)
+    })
+}
+
+fn emit(workload: &str, stats: &FleetStats) {
+    // Digest of the full retained sample: every observation's bit pattern
+    // folded in, so a single reordered or perturbed sample changes the row.
+    let sample_digest = stats
+        .samples()
+        .iter()
+        .fold(0xCBF2_9CE4_8422_2325u64, |h, v| {
+            (h ^ v.to_bits()).wrapping_mul(0x100_0000_01B3)
+        });
+    println!(
+        "{workload},{},{},{:#018x},{:#018x},{:#018x},{:#018x},{},{:#018x}",
+        stats.trials,
+        stats.successes,
+        stats.value.mean().to_bits(),
+        stats.value.sample_variance().to_bits(),
+        stats.value.min().to_bits(),
+        stats.value.max().to_bits(),
+        stats.samples().len(),
+        sample_digest,
+    );
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(96);
+    eprintln!(
+        "fleet determinism probe: {trials} trials/workload on {} worker thread(s)",
+        rayon::current_num_threads()
+    );
+    println!(
+        "workload,trials,successes,mean_bits,variance_bits,min_bits,max_bits,samples,sample_digest"
+    );
+    emit("epidemic_auto_n512", &epidemic_stats(trials, 512));
+    emit(
+        "elect_leader_n12_r3",
+        &elect_leader_stats(trials.div_ceil(6), 12, 3),
+    );
+}

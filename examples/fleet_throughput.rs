@@ -1,0 +1,70 @@
+//! Fleet throughput smoke: trials/sec of the same fleet workload at 1
+//! worker thread versus all available threads, with an assertable speedup.
+//!
+//! ```bash
+//! cargo run --release --example fleet_throughput            # report only
+//! cargo run --release --example fleet_throughput -- --assert
+//! ```
+//!
+//! With `--assert` the example exits nonzero unless the N-thread run beats
+//! the 1-thread run by a generous margin (N-thread trials/sec must exceed
+//! 1.2× single-thread when at least two cores are available) — the CI
+//! fleet-throughput smoke. The margin is deliberately loose: CI runners are
+//! noisy, and the guard is against *losing* parallelism entirely, not
+//! against scheduler jitter. On a single-core host the assertion is vacuous
+//! and the example says so.
+//!
+//! The aggregates of the two runs are also compared bit-for-bit — the
+//! determinism guarantee, enforced wherever the smoke runs.
+
+use analysis::experiments::fleet::measure_fleet_throughput;
+
+fn main() {
+    let assert_speedup = std::env::args().any(|a| a == "--assert");
+    let available = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let (n, trials, base_seed) = (1_024usize, 128usize, 0xF1EE7u64);
+
+    println!("fleet throughput smoke: epidemic n={n}, {trials} trials, auto engine");
+    let single = measure_fleet_throughput(n, trials, base_seed, 1);
+    println!(
+        "  1 thread : {:8.1} trials/sec  ({:.0} ms wall)",
+        single.trials_per_sec, single.wall_ms
+    );
+    if available < 2 {
+        println!("  single-core host: multi-thread comparison skipped");
+        if assert_speedup {
+            println!("  --assert: vacuously satisfied (nothing to parallelize over)");
+        }
+        return;
+    }
+
+    let multi = measure_fleet_throughput(n, trials, base_seed, available);
+    println!(
+        "  {available} threads: {:8.1} trials/sec  ({:.0} ms wall)",
+        multi.trials_per_sec, multi.wall_ms
+    );
+    let speedup = multi.trials_per_sec / single.trials_per_sec.max(1e-9);
+    println!("  speedup  : {speedup:.2}× trials/sec");
+
+    assert_eq!(
+        single.stats.value.mean().to_bits(),
+        multi.stats.value.mean().to_bits(),
+        "aggregated mean must be bit-identical across thread counts"
+    );
+    assert_eq!(
+        single.stats.samples(),
+        multi.stats.samples(),
+        "retained sample must be identical across thread counts"
+    );
+    println!("  aggregates bit-identical across thread counts: ok");
+
+    if assert_speedup && speedup < 1.2 {
+        eprintln!(
+            "FAIL: {available}-thread fleet ran at {speedup:.2}× single-thread trials/sec \
+             (expected > 1.2× on a {available}-core runner) — parallelism lost?"
+        );
+        std::process::exit(1);
+    }
+}

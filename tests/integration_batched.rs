@@ -19,17 +19,16 @@
 
 use baselines::{DirectCollisionSsle, LooselyStabilizingLe};
 use ppsim::epidemic::{measure_epidemic_time_with, OneWayEpidemic};
-use ppsim::rng::derive_seed;
 use ppsim::simulation::StabilizationOptions;
 use ppsim::stats::ks_distance;
 use ppsim::{
     AdaptiveConfig, BatchSimulation, CountConfiguration, DiscoveredProtocol, EngineKind,
-    MultiBatchSimulation, SimBuilder, Summary,
+    MultiBatchSimulation, SimBuilder, Summary, TrialFleet,
 };
 use ssle_core::{output, ElectLeader};
 
 const N: usize = 512;
-const TRIALS: u64 = 48;
+const TRIALS: usize = 48;
 const BASE_SEED: u64 = 0xBA7C_4ED0;
 
 /// An adaptive policy whose hysteresis band sits inside the test
@@ -45,15 +44,16 @@ fn switchy() -> AdaptiveConfig {
     }
 }
 
+/// Trials fan out over worker threads via [`TrialFleet`]; the per-trial
+/// seeds (`derive_seed(BASE_SEED, trial)`) and the returned sample order are
+/// identical to the old sequential loop, so every tolerance below is
+/// unaffected by the parallelism.
 fn completion_samples(engine: EngineKind) -> Vec<f64> {
-    (0..TRIALS)
-        .map(|trial| {
-            let seed = derive_seed(BASE_SEED, trial);
-            let protocol = OneWayEpidemic::new(N, 1);
-            measure_epidemic_time_with(protocol, engine, seed, u64::MAX)
-                .expect("epidemic completes") as f64
-        })
-        .collect()
+    TrialFleet::new(TRIALS, BASE_SEED).run(|seed| {
+        let protocol = OneWayEpidemic::new(N, 1);
+        measure_epidemic_time_with(protocol, engine, seed, u64::MAX).expect("epidemic completes")
+            as f64
+    })
 }
 
 /// Asserts that two hitting-time samples of the same distribution agree in
@@ -138,23 +138,20 @@ fn multibatch_agrees_on_the_completion_time_distribution() {
 #[test]
 fn auto_agrees_on_the_completion_time_distribution() {
     let per_step = completion_samples(EngineKind::PerStep);
-    let auto: Vec<f64> = (0..TRIALS)
-        .map(|trial| {
-            let seed = derive_seed(BASE_SEED, trial);
-            let mut sim = SimBuilder::new(OneWayEpidemic::new(N, 1))
-                .seed(seed)
-                .adaptive_config(switchy())
-                .build_adaptive();
-            let out = sim.run_until(|c| c.count(1) == c.population(), u64::MAX);
-            assert!(out.satisfied);
-            assert!(
-                sim.handoffs() >= 2,
-                "trial {trial}: expected real handoffs, got {}",
-                sim.handoffs()
-            );
-            out.interactions as f64
-        })
-        .collect();
+    let auto: Vec<f64> = TrialFleet::new(TRIALS, BASE_SEED).run_indexed(|trial, seed| {
+        let mut sim = SimBuilder::new(OneWayEpidemic::new(N, 1))
+            .seed(seed)
+            .adaptive_config(switchy())
+            .build_adaptive();
+        let out = sim.run_until(|c| c.count(1) == c.population(), u64::MAX);
+        assert!(out.satisfied);
+        assert!(
+            sim.handoffs() >= 2,
+            "trial {trial}: expected real handoffs, got {}",
+            sim.handoffs()
+        );
+        out.interactions as f64
+    });
     assert_distributions_agree(
         "adaptive epidemic completion time",
         &per_step,
@@ -169,27 +166,24 @@ fn auto_agrees_on_the_completion_time_distribution() {
 /// a permutation, starting from the worst-case all-rank-1 configuration.
 /// One `SimBuilder` path serves every engine arm; `Auto` uses the forced
 /// switching policy.
-fn direct_collision_samples(engine: EngineKind, n: usize, trials: u64) -> Vec<f64> {
-    (0..trials)
-        .map(|trial| {
-            let seed = derive_seed(BASE_SEED ^ 0xD1, trial);
-            let mut sim = SimBuilder::new(DirectCollisionSsle::new(n))
-                .kind(engine)
-                .seed(seed)
-                .adaptive_config(switchy())
-                .build();
-            let out = sim.run_until(&mut |c| c.counts().iter().all(|&c| c == 1), u64::MAX);
-            assert!(out.satisfied);
-            out.interactions as f64
-        })
-        .collect()
+fn direct_collision_samples(engine: EngineKind, n: usize, trials: usize) -> Vec<f64> {
+    TrialFleet::new(trials, BASE_SEED ^ 0xD1).run(|seed| {
+        let mut sim = SimBuilder::new(DirectCollisionSsle::new(n))
+            .kind(engine)
+            .seed(seed)
+            .adaptive_config(switchy())
+            .build();
+        let out = sim.run_until(&mut |c| c.counts().iter().all(|&c| c == 1), u64::MAX);
+        assert!(out.satisfied);
+        out.interactions as f64
+    })
 }
 
 #[test]
 fn engines_agree_on_direct_collision_permutation_times() {
     // The last-collision phase is heavy-tailed, so the mean needs more
     // samples than the other observables to settle.
-    let (n, trials) = (24usize, 48u64);
+    let (n, trials) = (24usize, 48usize);
     let per_step = direct_collision_samples(EngineKind::PerStep, n, trials);
     let batched = direct_collision_samples(EngineKind::Batched, n, trials);
     // 48 samples per engine: the KS 1% critical value is ≈ 0.33; the
@@ -232,21 +226,17 @@ fn engines_agree_on_direct_collision_permutation_times() {
 #[test]
 fn engines_agree_on_loose_le_recovery_times() {
     let n = 48usize;
-    let trials = 24u64;
+    let trials = 24usize;
     let timer_max = 200u32;
     let sample = |engine: EngineKind| -> Vec<f64> {
-        (0..trials)
-            .map(|trial| {
-                let seed = derive_seed(BASE_SEED ^ 0x10, trial);
-                let protocol = LooselyStabilizingLe::with_timer_max(n, timer_max);
-                let handle = protocol;
-                let mut sim = SimBuilder::new(protocol).kind(engine).seed(seed).build();
-                let out =
-                    sim.run_until(&mut |c| c.count_where(&handle, |s| s.leader) == 1, u64::MAX);
-                assert!(out.satisfied);
-                out.interactions as f64
-            })
-            .collect()
+        TrialFleet::new(trials, BASE_SEED ^ 0x10).run(|seed| {
+            let protocol = LooselyStabilizingLe::with_timer_max(n, timer_max);
+            let handle = protocol;
+            let mut sim = SimBuilder::new(protocol).kind(engine).seed(seed).build();
+            let out = sim.run_until(&mut |c| c.count_where(&handle, |s| s.leader) == 1, u64::MAX);
+            assert!(out.satisfied);
+            out.interactions as f64
+        })
     };
     let (per_step, batched) = (sample(EngineKind::PerStep), sample(EngineKind::Batched));
     assert_distributions_agree(
@@ -262,31 +252,30 @@ fn engines_agree_on_loose_le_recovery_times() {
 /// runs under the count engines via `DiscoveredProtocol` — with no up-front
 /// `|Q|²` enumeration — and its stabilization-time distribution matches the
 /// per-step engine's. One `SimBuilder` path serves every engine arm.
-fn elect_leader_samples(engine: EngineKind, n: usize, r: usize, trials: u64) -> Vec<f64> {
-    (0..trials)
-        .map(|trial| {
-            let seed = derive_seed(BASE_SEED ^ 0xE1, trial);
-            let protocol = ElectLeader::with_n_r(n, r).expect("valid parameters");
-            let budget = protocol.params().suggested_budget();
-            let opts = StabilizationOptions::new(n, budget);
-            let discovered = DiscoveredProtocol::new(protocol);
-            let handle = discovered.clone();
-            let mut sim = SimBuilder::new(discovered)
-                .kind(engine)
-                .seed(seed)
-                .adaptive_config(switchy())
-                .build();
-            let result = sim
-                .measure_stabilization(&mut |c| output::is_correct_output_counts(&handle, c), opts);
-            result.stabilized_at.expect("instance stabilizes") as f64
-        })
-        .collect()
+fn elect_leader_samples(engine: EngineKind, n: usize, r: usize, trials: usize) -> Vec<f64> {
+    // The Rc-based `DiscoveredProtocol` is not `Send`, so it is constructed
+    // inside the trial closure — each worker thread builds its own.
+    TrialFleet::new(trials, BASE_SEED ^ 0xE1).run(|seed| {
+        let protocol = ElectLeader::with_n_r(n, r).expect("valid parameters");
+        let budget = protocol.params().suggested_budget();
+        let opts = StabilizationOptions::new(n, budget);
+        let discovered = DiscoveredProtocol::new(protocol);
+        let handle = discovered.clone();
+        let mut sim = SimBuilder::new(discovered)
+            .kind(engine)
+            .seed(seed)
+            .adaptive_config(switchy())
+            .build();
+        let result =
+            sim.measure_stabilization(&mut |c| output::is_correct_output_counts(&handle, c), opts);
+        result.stabilized_at.expect("instance stabilizes") as f64
+    })
 }
 
 #[test]
 fn engines_agree_on_elect_leader_stabilization_times() {
     let (n, r) = (12usize, 3usize);
-    let trials = 16u64;
+    let trials = 16usize;
     let per_step = elect_leader_samples(EngineKind::PerStep, n, r, trials);
     let batched = elect_leader_samples(EngineKind::Batched, n, r, trials);
     // 16 samples per engine: KS 1% critical ≈ 0.58; stabilization times have
@@ -308,7 +297,7 @@ fn engines_agree_on_elect_leader_stabilization_times() {
 #[test]
 fn multibatch_agrees_on_elect_leader_stabilization_times() {
     let (n, r) = (12usize, 3usize);
-    let trials = 16u64;
+    let trials = 16usize;
     let per_step = elect_leader_samples(EngineKind::PerStep, n, r, trials);
     let multibatch = elect_leader_samples(EngineKind::MultiBatch, n, r, trials);
     assert_distributions_agree(
@@ -328,7 +317,7 @@ fn multibatch_agrees_on_elect_leader_stabilization_times() {
 #[test]
 fn auto_agrees_on_elect_leader_stabilization_times() {
     let (n, r) = (12usize, 3usize);
-    let trials = 16u64;
+    let trials = 16usize;
     let per_step = elect_leader_samples(EngineKind::PerStep, n, r, trials);
     let auto = elect_leader_samples(EngineKind::Auto, n, r, trials);
     assert_distributions_agree(

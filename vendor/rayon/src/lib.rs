@@ -1,99 +1,386 @@
-//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate —
+//! now with **real** data parallelism.
 //!
-//! Exposes the `par_iter`/`par_iter_mut`/`into_par_iter` entry points and
-//! [`join`] with **sequential** semantics: every "parallel iterator" is just
-//! the corresponding ordinary iterator. Call sites written against rayon's
-//! API compile and run correctly (single-threaded); swapping the real crate
-//! back in is a one-line `Cargo.toml` change that transparently re-enables
-//! parallelism.
+//! Exposes the `par_iter`/`par_iter_mut`/`into_par_iter` entry points,
+//! [`join`], and a minimal [`ThreadPoolBuilder`]/[`ThreadPool::install`]
+//! surface. Unlike the original sequential stand-in, parallel iterators now
+//! execute on worker threads: items are split into chunks and the chunks are
+//! claimed dynamically by `std::thread::scope` workers through an atomic
+//! next-chunk index (a simplified work-stealing deque — idle workers pull the
+//! next unclaimed chunk instead of stealing from a victim, which gives the
+//! same load-balancing behaviour for the fork-join shapes this workspace
+//! uses).
+//!
+//! # Semantics call sites can rely on
+//!
+//! * **Order preservation** — `map(..).collect::<Vec<_>>()` returns results
+//!   in input order regardless of which worker processed which chunk: every
+//!   chunk writes into its own pre-assigned output slot and the slots are
+//!   stitched in chunk order.
+//! * **Exactly-once execution** — the atomic next-chunk index hands every
+//!   chunk to exactly one worker; no chunk is skipped or run twice.
+//! * **Panic propagation** — a panic in any worker resumes on the calling
+//!   thread once the scope joins.
+//! * **Thread-count control** — the worker count is
+//!   [`std::thread::available_parallelism`] by default, overridden by the
+//!   `RAYON_NUM_THREADS` environment variable (as in real rayon), and
+//!   scoped-overridden by [`ThreadPool::install`]. With one thread every
+//!   operation degenerates to the plain sequential loop on the calling
+//!   thread — results are identical either way.
+//!
+//! Restoring the upstream crate remains a one-line `Cargo.toml` change: the
+//! entry-point traits, `join`, `current_num_threads` and the
+//! `ThreadPoolBuilder::num_threads(..).build()?.install(..)` idiom are all
+//! API-compatible subsets of real rayon.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Runs both closures (sequentially, in order) and returns their results.
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Scoped thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel operations currently use, resolved
+/// in order: [`ThreadPool::install`] override on this thread, then the
+/// `RAYON_NUM_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(|c| c.get()) {
+        return n;
+    }
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (the stand-in never
+/// actually fails; the type exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default thread count
+    /// ([`current_num_threads`] at `install` time).
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Sets the number of worker threads (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle fixing the worker-thread count for operations run under
+/// [`ThreadPool::install`].
+///
+/// The stand-in pool owns no long-lived threads — workers are scoped to each
+/// parallel operation — so the pool is just the configured thread count. The
+/// override applies to parallel operations *initiated from the closure's
+/// thread* (nested spawns fall back to the environment default), which
+/// covers the fork-join call shapes in this workspace.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+/// Restores the previous thread-count override when dropped, so `install`
+/// unwinds correctly even if the closure panics.
+struct InstallGuard(Option<usize>);
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED_THREADS.with(|c| c.set(self.0));
+    }
+}
+
+impl ThreadPool {
+    /// Executes `op` with this pool's thread count as the current override.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let resolved = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        let _guard = InstallGuard(INSTALLED_THREADS.with(|c| c.get()));
+        INSTALLED_THREADS.with(|c| c.set(Some(resolved)));
+        op()
+    }
+
+    /// The pool's configured thread count (0 = default at install time).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// Upper bound on chunks per worker thread: more chunks give the atomic
+/// index finer load balancing (uneven per-item cost), fewer chunks give less
+/// claim traffic. 4 chunks/worker keeps the slowest-chunk tail short without
+/// measurable contention for the trial-sized workloads this repo runs.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Applies `f` to every item with `threads` workers claiming fixed-size
+/// chunks through an atomic next-chunk index. Results come back in input
+/// order. This is the one executor behind every parallel operation.
+fn run_chunked_with_threads<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = len.div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    // Feed queue: each chunk is taken (exactly once) by the worker that
+    // claims its index; results land in the slot of the same index, so
+    // stitching the slots in order reproduces the input order.
+    let mut items = items;
+    let mut chunks: Vec<Mutex<Option<Vec<T>>>> = Vec::with_capacity(len.div_ceil(chunk_len));
+    while !items.is_empty() {
+        let tail = items.split_off(chunk_len.min(items.len()));
+        chunks.push(Mutex::new(Some(items)));
+        items = tail;
+    }
+    let slots: Vec<Mutex<Option<Vec<R>>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(chunks.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= chunks.len() {
+                    break;
+                }
+                let chunk = chunks[index]
+                    .lock()
+                    .expect("chunk mutex poisoned")
+                    .take()
+                    .expect("chunk claimed twice");
+                let out: Vec<R> = chunk.into_iter().map(&f).collect();
+                *slots[index].lock().expect("slot mutex poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .flat_map(|slot| {
+            slot.into_inner()
+                .expect("slot mutex poisoned")
+                .expect("chunk completed")
+        })
+        .collect()
+}
+
+/// [`run_chunked_with_threads`] at the current thread count.
+fn run_chunked<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    run_chunked_with_threads(items, current_num_threads(), f)
+}
+
+/// Runs both closures — in parallel when more than one thread is available —
+/// and returns their results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        let rb = match handle.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
 }
 
-/// Types that can produce a "parallel" (here: sequential) iterator by value.
+/// A parallel iterator: a materialized batch of items whose adapters
+/// (`map`, `for_each`, `filter`, …) execute on worker threads via the
+/// chunked executor. Adapters are *eager* — each one is a complete parallel
+/// pass — which is indistinguishable from rayon's lazy pipelines for the
+/// single-stage `par_iter().map(..).collect()` shapes used here.
+#[derive(Debug)]
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: run_chunked(self.items, f),
+        }
+    }
+
+    /// Calls `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_chunked(self.items, f);
+    }
+
+    /// Keeps the items for which `pred` holds (evaluated in parallel),
+    /// preserving order.
+    pub fn filter<F>(self, pred: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        ParIter {
+            items: run_chunked(self.items, |item| pred(&item).then_some(item))
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    /// Collects the items into any [`FromIterator`] collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Types that can produce a parallel iterator by value.
 pub trait IntoParallelIterator {
     /// The element type.
-    type Item;
-    /// The iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: Send;
 
-    /// Converts `self` into an iterator.
-    fn into_par_iter(self) -> Self::Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send,
+{
     type Item = I::Item;
-    type Iter = I::IntoIter;
 
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
-/// Types whose references can produce a "parallel" iterator.
+/// Types whose references can produce a parallel iterator.
 pub trait IntoParallelRefIterator<'data> {
     /// The element type.
-    type Item: 'data;
-    /// The iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: Send + 'data;
 
-    /// Iterates over `&self`.
-    fn par_iter(&'data self) -> Self::Iter;
+    /// Iterates over `&self` in parallel.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
 }
 
-impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
     type Item = &'data T;
-    type Iter = core::slice::Iter<'data, T>;
 
-    fn par_iter(&'data self) -> Self::Iter {
-        self.iter()
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
-impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     type Item = &'data T;
-    type Iter = core::slice::Iter<'data, T>;
 
-    fn par_iter(&'data self) -> Self::Iter {
-        self.iter()
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
-/// Types whose mutable references can produce a "parallel" iterator.
+/// Types whose mutable references can produce a parallel iterator.
 pub trait IntoParallelRefMutIterator<'data> {
     /// The element type.
-    type Item: 'data;
-    /// The iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: Send + 'data;
 
-    /// Iterates over `&mut self`.
-    fn par_iter_mut(&'data mut self) -> Self::Iter;
+    /// Iterates over `&mut self` in parallel.
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
 }
 
-impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
     type Item = &'data mut T;
-    type Iter = core::slice::IterMut<'data, T>;
 
-    fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.iter_mut()
+    fn par_iter_mut(&'data mut self) -> ParIter<&'data mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
     }
 }
 
-impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
     type Item = &'data mut T;
-    type Iter = core::slice::IterMut<'data, T>;
 
-    fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.iter_mut()
+    fn par_iter_mut(&'data mut self) -> ParIter<&'data mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
     }
 }
 
@@ -105,9 +392,12 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
-    fn sequential_fallbacks_behave_like_iterators() {
+    fn parallel_iterators_behave_like_iterators() {
         let v = vec![1, 2, 3];
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6]);
@@ -116,7 +406,135 @@ mod tests {
         assert_eq!(w, vec![11, 12, 13]);
         let sum: i32 = (1..=4).into_par_iter().sum();
         assert_eq!(sum, 10);
+        let evens: Vec<i32> = (1..=10).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens, vec![2, 4, 6, 8, 10]);
+        assert_eq!((0..17).into_par_iter().count(), 17);
         let (a, b) = super::join(|| 1, || 2);
         assert_eq!((a, b), (1, 2));
+    }
+
+    /// The chunked executor hands every item to exactly one worker and
+    /// stitches results back in input order — at every thread count.
+    #[test]
+    fn chunk_scheduling_covers_all_items_exactly_once_in_order() {
+        const LEN: usize = 1_003; // deliberately not a multiple of any chunk size
+        let visits: Vec<AtomicUsize> = (0..LEN).map(|_| AtomicUsize::new(0)).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            for counter in &visits {
+                counter.store(0, Ordering::Relaxed);
+            }
+            let out = run_chunked_with_threads((0..LEN).collect(), threads, |i: usize| {
+                visits[i].fetch_add(1, Ordering::Relaxed);
+                i * 2
+            });
+            assert_eq!(
+                out,
+                (0..LEN).map(|i| i * 2).collect::<Vec<_>>(),
+                "{threads} threads"
+            );
+            assert!(
+                visits.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "{threads} threads: some item not executed exactly once"
+            );
+        }
+    }
+
+    /// With more than one worker requested the executor spawns real OS
+    /// threads; on a single-core host they may still interleave on one
+    /// core, but all chunks must execute either way.
+    #[test]
+    fn work_is_spread_across_worker_threads() {
+        let ids = Mutex::new(HashSet::new());
+        let out = run_chunked_with_threads((0..256).collect(), 4, |i: u32| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            i
+        });
+        assert_eq!(out, (0..256).collect::<Vec<_>>());
+        let distinct = ids.lock().unwrap().len();
+        assert!((1..=4).contains(&distinct));
+    }
+
+    #[test]
+    fn panic_in_a_worker_propagates_to_the_caller() {
+        for threads in [1, 4] {
+            let result = std::panic::catch_unwind(|| {
+                run_chunked_with_threads((0..100).collect(), threads, |i: i32| {
+                    if i == 37 {
+                        panic!("worker exploded");
+                    }
+                    i
+                })
+            });
+            assert!(result.is_err(), "{threads} threads: panic must propagate");
+        }
+    }
+
+    #[test]
+    fn join_runs_both_closures_and_propagates_panics() {
+        let left = AtomicUsize::new(0);
+        let right = AtomicUsize::new(0);
+        let (a, b) = join(
+            || {
+                left.fetch_add(1, Ordering::Relaxed);
+                "a"
+            },
+            || {
+                right.fetch_add(1, Ordering::Relaxed);
+                "b"
+            },
+        );
+        assert_eq!((a, b), ("a", "b"));
+        assert_eq!(left.load(Ordering::Relaxed), 1);
+        assert_eq!(right.load(Ordering::Relaxed), 1);
+        let panicked = std::panic::catch_unwind(|| join(|| 1, || -> i32 { panic!("right side") }));
+        assert!(panicked.is_err());
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let expected: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        for threads in [1, 2, 5, 16] {
+            let got = run_chunked_with_threads((0..500u64).collect(), threads, |i| {
+                i.wrapping_mul(0x9E37)
+            });
+            assert_eq!(got, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn thread_pool_install_scopes_the_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside, "override must be scoped");
+        // Nested installs restore the outer override on exit.
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (in_outer, in_inner) = outer.install(|| {
+            let before = current_num_threads();
+            let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+            let within = inner.install(current_num_threads);
+            assert_eq!(current_num_threads(), before);
+            (before, within)
+        });
+        assert_eq!((in_outer, in_inner), (2, 5));
+    }
+
+    #[test]
+    fn install_restores_the_override_after_a_panic() {
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let before = current_num_threads();
+        let result =
+            std::panic::catch_unwind(|| pool.install(|| -> () { panic!("inside install") }));
+        assert!(result.is_err());
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn single_item_and_empty_inputs_short_circuit() {
+        let one: Vec<i32> = vec![5].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![6]);
+        let empty: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
     }
 }
