@@ -27,7 +27,7 @@ use crate::scale::{EngineKind, Scale};
 use crate::table::{fmt_f64, Table};
 use ppsim::epidemic::{measure_epidemic_time_with, OneWayEpidemic};
 use ppsim::rng::derive_seed;
-use ppsim::TrialFleet;
+use ppsim::{peak_rss_bytes, reset_peak_rss, TrialFleet};
 use std::time::Instant;
 
 /// Measurements of one engine at one population size.
@@ -37,6 +37,14 @@ pub struct EngineThroughput {
     pub mean_interactions: f64,
     /// Mean wall-clock milliseconds per completion run.
     pub mean_wall_ms: f64,
+    /// Peak resident-set size over the cell's trials, in MiB.
+    ///
+    /// Process-wide (`VmHWM`), reset before the cell where the platform
+    /// allows it, `None` where `/proc` is unavailable. With a
+    /// [`reset_peak_rss`] that fails, the watermark is monotone over the
+    /// whole sweep, so later cells inherit earlier peaks — still a valid
+    /// upper bound for the budget checks the E10 memory column exists for.
+    pub peak_rss_mib: Option<f64>,
 }
 
 impl EngineThroughput {
@@ -62,6 +70,7 @@ pub fn epidemic_throughput(
 ) -> EngineThroughput {
     let nf = n as f64;
     let budget = (50.0 * nf * nf.ln().max(1.0)).ceil() as u64;
+    let _ = reset_peak_rss();
     let started = Instant::now();
     let total_interactions: u64 = TrialFleet::new(trials, base_seed)
         .run(|seed| {
@@ -74,6 +83,7 @@ pub fn epidemic_throughput(
     EngineThroughput {
         mean_interactions: total_interactions as f64 / trials as f64,
         mean_wall_ms: elapsed_ms / trials as f64,
+        peak_rss_mib: peak_rss_bytes().map(|b| b as f64 / (1u64 << 20) as f64),
     }
 }
 
@@ -90,11 +100,12 @@ pub fn e10_engine_scale(scale: Scale) -> Table {
             "mean parallel time",
             "mean wall ms",
             "M interactions/s",
+            "peak RSS MiB",
         ],
     );
-    let trials = scale.trials();
     let mut speedup_notes: Vec<String> = Vec::new();
     for &n in &scale.batched_n_values() {
+        let trials = scale.e10_trials(n);
         let base_seed = derive_seed(scale.base_seed() ^ 0xE10, n as u64);
         let mut wall_by_engine: Vec<(EngineKind, f64)> = Vec::new();
         for engine in scale.e10_engines(n) {
@@ -107,6 +118,7 @@ pub fn e10_engine_scale(scale: Scale) -> Table {
                 fmt_f64(m.mean_interactions / n as f64),
                 fmt_f64(m.mean_wall_ms),
                 fmt_f64(m.interactions_per_us()),
+                m.peak_rss_mib.map_or_else(|| "n/a".to_string(), fmt_f64),
             ]);
             wall_by_engine.push((engine, m.mean_wall_ms));
         }
@@ -158,6 +170,13 @@ pub fn e10_engine_scale(scale: Scale) -> Table {
          middle). All engines report completion interactions near 2 n ln n."
             .to_string(),
     );
+    table.push_note(
+        "Peak RSS is the process-wide VmHWM watermark over the cell's trials (reset per cell \
+         where the platform allows): count engines stay flat in n — O(#occupied states + √n) \
+         for the survival table — while the per-step engine's per-agent vector grows linearly, \
+         which is why it is capped and why n = 10⁸ runs under the count engines only."
+            .to_string(),
+    );
     table
 }
 
@@ -179,6 +198,11 @@ mod tests {
             assert!(m.mean_interactions > nf, "{engine:?}");
             assert!(m.mean_interactions < 10.0 * nf * nf.ln(), "{engine:?}");
             assert!(m.mean_wall_ms >= 0.0);
+            #[cfg(target_os = "linux")]
+            assert!(
+                m.peak_rss_mib.is_some_and(|mib| mib > 0.0),
+                "{engine:?}: /proc should yield a peak-RSS reading"
+            );
         }
     }
 
@@ -194,6 +218,12 @@ mod tests {
         for row in &table.rows {
             let interactions: f64 = row[3].parse().unwrap();
             assert!(interactions > 0.0);
+            // The memory column is last so existing row parsers stay valid.
+            let rss = row.last().unwrap();
+            assert!(
+                rss == "n/a" || rss.parse::<f64>().is_ok_and(|m| m > 0.0),
+                "bad peak-RSS cell: {rss:?}"
+            );
         }
         assert!(
             table.notes.iter().any(|n| n.contains("multi-batch engine")

@@ -102,7 +102,20 @@ impl Scale {
         match self {
             Scale::Tiny => vec![1_000, 10_000],
             Scale::Quick => vec![10_000, 100_000, 1_000_000],
-            Scale::Full => vec![100_000, 1_000_000, 10_000_000],
+            Scale::Full => vec![100_000, 1_000_000, 10_000_000, 100_000_000],
+        }
+    }
+
+    /// The number of trials the E10 scale sweep runs at population size `n`.
+    ///
+    /// [`Scale::trials`] up to `10⁷`; capped at 3 from `10⁸` on, where a
+    /// single run is tens of seconds per engine and the sweep's point is
+    /// completion (and peak memory) rather than tight confidence intervals.
+    pub fn e10_trials(self, n: usize) -> usize {
+        if n >= 100_000_000 {
+            self.trials().min(3)
+        } else {
+            self.trials()
         }
     }
 
@@ -288,6 +301,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn e10_trials_cap_only_bites_at_the_largest_populations() {
+        for scale in [Scale::Tiny, Scale::Quick, Scale::Full] {
+            for &n in &scale.batched_n_values() {
+                let trials = scale.e10_trials(n);
+                assert!(trials >= 1);
+                if n < 100_000_000 {
+                    assert_eq!(trials, scale.trials(), "no cap below 10^8");
+                } else {
+                    assert!(trials <= 3, "10^8 cells must stay cheap: {trials}");
+                }
+            }
+        }
+        // The cap is reachable at full scale, where the 10^8 row lives.
+        assert!(Scale::Full.batched_n_values().contains(&100_000_000));
+        assert_eq!(Scale::Full.e10_trials(100_000_000), 3);
     }
 
     #[test]

@@ -66,6 +66,11 @@ fn main() {
         scale,
         started.elapsed().as_secs_f64()
     );
+    // Machine-readable footer for CI: the smoke jobs parse this line into the
+    // timings artifact and alarm if the driver's memory footprint regresses.
+    if let Some(peak) = ppsim::peak_rss_bytes() {
+        eprintln!("peak-rss-mib: {:.1}", peak as f64 / (1u64 << 20) as f64);
+    }
 
     if let Some(dir) = csv_dir {
         if let Err(e) = std::fs::create_dir_all(&dir) {

@@ -48,10 +48,11 @@
 
 use crate::configuration::Configuration;
 use crate::convergence::{StabilizationDetector, StabilizationResult};
-use crate::count_config::CountConfiguration;
+use crate::count_config::{validate_engine_inputs, CountConfiguration};
 use crate::enumerable::EnumerableProtocol;
+use crate::error::SimError;
 use crate::protocol::{CleanInit, InteractionCtx};
-use crate::rng::{uniform_below, SimRng};
+use crate::rng::{uniform_below_u128, SimRng};
 use crate::simulation::{RunOutcome, StabilizationOptions};
 use rand::distributions::{Distribution, Geometric};
 use rand::RngCore;
@@ -70,21 +71,21 @@ struct BatchOutcome {
     stalled: bool,
 }
 
-/// A Fenwick (binary indexed) tree over `u64` weights with appendable
+/// A Fenwick (binary indexed) tree over `u128` weights with appendable
 /// positions and prefix-threshold search.
 ///
-/// Weights are true non-negative sums that fit `u64` (the engine bounds the
-/// population so that `n(n-1)` is representable); point updates use wrapping
-/// arithmetic so decreases need no signed type.
+/// Weights are true non-negative sums: pair weights go up to `n(n−1) <
+/// 2¹²⁴` at the engine bound, so `u128` holds every partial sum exactly.
+/// Point updates use wrapping arithmetic so decreases need no signed type.
 #[derive(Debug, Default)]
 struct Fenwick {
     /// 1-based node array: `tree[i]` sums the weight range `(i - lowbit(i), i]`.
-    tree: Vec<u64>,
+    tree: Vec<u128>,
 }
 
 impl Fenwick {
     /// Appends a new position holding `value`.
-    fn push(&mut self, value: u64) {
+    fn push(&mut self, value: u128) {
         let i = self.tree.len() + 1;
         let lowbit = i & i.wrapping_neg();
         let mut node = value;
@@ -97,7 +98,7 @@ impl Fenwick {
     }
 
     /// Adds `new.wrapping_sub(old)` at 0-based position `index`.
-    fn update(&mut self, index: usize, old: u64, new: u64) {
+    fn update(&mut self, index: usize, old: u128, new: u128) {
         let delta = new.wrapping_sub(old);
         let mut i = index + 1;
         while i <= self.tree.len() {
@@ -109,7 +110,7 @@ impl Fenwick {
     /// The 0-based position `k` with `prefix_sum(k) <= threshold <
     /// prefix_sum(k + 1)` — i.e. the weight slot a uniform `threshold` in
     /// `[0, total)` selects. Requires `threshold < total`.
-    fn search(&self, mut threshold: u64) -> usize {
+    fn search(&self, mut threshold: u128) -> usize {
         let mut pos = 0usize;
         let mut mask = self.tree.len().next_power_of_two();
         // `next_power_of_two` may exceed the length; the bounds check below
@@ -131,7 +132,7 @@ impl Fenwick {
 struct PairSlot {
     u: usize,
     v: usize,
-    weight: u64,
+    weight: u128,
     alive: bool,
 }
 
@@ -156,8 +157,8 @@ struct PairIndex {
     occupied: Vec<usize>,
     /// `occupied_pos[s]` is the index of `s` in `occupied`, or `usize::MAX`.
     occupied_pos: Vec<usize>,
-    /// Sum of live weights (wrapping mirror of the Fenwick total).
-    total_weight: u64,
+    /// Sum of live weights (checked mirror of the Fenwick total).
+    total_weight: u128,
     live: usize,
     dead: usize,
     /// Number of live slots with strictly positive weight, plus a lazily
@@ -200,12 +201,12 @@ impl PairIndex {
         }
     }
 
-    fn total_weight(&self) -> u64 {
+    fn total_weight(&self) -> u128 {
         self.total_weight
     }
 
     /// The pair a uniform `threshold < total_weight()` selects.
-    fn select(&self, threshold: u64) -> (usize, usize) {
+    fn select(&self, threshold: u128) -> (usize, usize) {
         let slot = &self.slots[self.tree.search(threshold)];
         debug_assert!(slot.alive && slot.weight > 0);
         (slot.u, slot.v)
@@ -258,14 +259,22 @@ impl PairIndex {
         }
     }
 
-    fn set_weight(&mut self, slot: usize, weight: u64) {
+    fn set_weight(&mut self, slot: usize, weight: u128) {
         let old = self.slots[slot].weight;
         if old == weight {
             return;
         }
         self.slots[slot].weight = weight;
         self.tree.update(slot, old, weight);
-        self.total_weight = self.total_weight.wrapping_add(weight.wrapping_sub(old));
+        // The mirror is a true sum of disjoint pair weights, bounded by
+        // n(n−1) < 2¹²⁴; default (debug-checked) arithmetic on the exact
+        // branch keeps any future bookkeeping bug a loud panic instead of a
+        // silent wraparound.
+        if weight >= old {
+            self.total_weight += weight - old;
+        } else {
+            self.total_weight -= old - weight;
+        }
         match (old > 0, weight > 0) {
             (false, true) => self.positive += 1,
             (true, false) => self.positive -= 1,
@@ -274,7 +283,7 @@ impl PairIndex {
         self.sole_positive = None;
     }
 
-    fn add_slot(&mut self, u: usize, v: usize, weight: u64) {
+    fn add_slot(&mut self, u: usize, v: usize, weight: u128) {
         let id = self.slots.len();
         self.slots.push(PairSlot {
             u,
@@ -407,7 +416,7 @@ impl PairIndex {
             self.occupied.iter().copied().collect::<HashSet<_>>(),
             "occupied set out of sync"
         );
-        let mut expected_total = 0u64;
+        let mut expected_total = 0u128;
         let mut expected_pairs = HashSet::new();
         for &u in &occupied {
             for &v in &occupied {
@@ -418,7 +427,7 @@ impl PairIndex {
             }
         }
         let mut live_pairs = HashSet::new();
-        let mut live_total = 0u64;
+        let mut live_total = 0u128;
         for slot in self.slots.iter().filter(|s| s.alive) {
             assert_eq!(slot.weight, pair_weight(counts, slot.u, slot.v));
             assert!(live_pairs.insert((slot.u, slot.v)), "duplicate live slot");
@@ -438,13 +447,24 @@ impl PairIndex {
     }
 }
 
-/// Number of ordered agent pairs realizing the ordered state pair `(u, v)`.
-fn pair_weight(counts: &CountConfiguration, u: usize, v: usize) -> u64 {
-    let cu = counts.count(u);
+/// Number of ordered agent pairs realizing the ordered state pair `(u, v)`:
+/// `c_u · c_v`, or `c_u · (c_u − 1)` on the diagonal.
+///
+/// # Overflow bound
+///
+/// The product is computed in `u128`. In `u64` it would overflow as soon as
+/// both counts exceed `2³²` (a single product reaches `u64::MAX` at
+/// `c_u = c_v = 2³²`), and the *sum* of all pair weights — exactly
+/// `n(n−1)` when every pair is non-silent — overflows `u64` already at
+/// `n ≈ 4.3 × 10⁹` (`n > 2³² + 1`). Widening makes every product and the
+/// `n(n−1)` total exact up to the engine bound
+/// [`crate::count_config::MAX_POPULATION`] (`n = 2⁶²`, total `< 2¹²⁴`).
+fn pair_weight(counts: &CountConfiguration, u: usize, v: usize) -> u128 {
+    let cu = u128::from(counts.count(u));
     if u == v {
         cu * cu.saturating_sub(1)
     } else {
-        cu * counts.count(v)
+        cu * u128::from(counts.count(v))
     }
 }
 
@@ -488,48 +508,50 @@ pub struct BatchSimulation<P: EnumerableProtocol> {
 }
 
 impl<P: EnumerableProtocol> BatchSimulation<P> {
-    /// Creates a batched simulation from an explicit count configuration.
+    /// Creates a batched simulation from an explicit count configuration,
+    /// returning a typed error on invalid input.
     ///
-    /// # Panics
+    /// # Supported populations
     ///
-    /// Panics if the configuration's state count does not match
-    /// [`EnumerableProtocol::num_states`], if its population does not match
-    /// [`crate::Protocol::population_size`], or if the population has fewer
-    /// than two agents.
-    pub fn new(protocol: P, counts: CountConfiguration, seed: u64) -> Self {
-        let q = protocol.num_states();
-        assert_eq!(
-            counts.num_states(),
-            q,
-            "count configuration must track the protocol's state space"
-        );
-        assert_eq!(
-            counts.population() as usize,
-            protocol.population_size(),
-            "configuration size must match the protocol's population size"
-        );
-        assert!(
-            counts.population() >= 2,
-            "the uniform scheduler requires at least two agents"
-        );
-        // The pair-weight arithmetic (c_u · c_v, n · (n-1)) is done in u64;
-        // bounding n at 2³² keeps every product representable.
-        assert!(
-            counts.population() <= u64::from(u32::MAX),
-            "the batched engine supports populations up to 2^32 - 1"
-        );
+    /// `2 ≤ n ≤ 2⁶²` ([`crate::count_config::MAX_POPULATION`]): pair weights
+    /// are kept exact in `u128`, memory is `O(#occupied states)` independent
+    /// of `n`. Larger populations yield
+    /// [`SimError::UnsupportedPopulation`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidParameters`] if the configuration's state count
+    /// does not match [`EnumerableProtocol::num_states`], its population
+    /// does not match [`crate::Protocol::population_size`], or the
+    /// population has fewer than two agents;
+    /// [`SimError::UnsupportedPopulation`] past the engine bound.
+    pub fn try_new(protocol: P, counts: CountConfiguration, seed: u64) -> Result<Self, SimError> {
+        validate_engine_inputs(&protocol, &counts)?;
         let pairs = PairIndex::new(&protocol, &counts);
-        BatchSimulation {
+        Ok(BatchSimulation {
             protocol,
             counts,
             rng: SimRng::seed_from_u64(seed),
             interactions: 0,
             active_interactions: 0,
             pairs,
-        }
+        })
+    }
+
+    /// Creates a batched simulation from an explicit count configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any input [`Self::try_new`] rejects.
+    pub fn new(protocol: P, counts: CountConfiguration, seed: u64) -> Self {
+        Self::try_new(protocol, counts, seed).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Creates a batched simulation from a per-agent configuration.
+    ///
+    /// Supports the same population range as [`Self::try_new`], though the
+    /// per-agent input is itself `O(n)` — start from counts (or
+    /// [`Self::clean`]) for very large populations.
     pub fn from_configuration(protocol: P, config: &Configuration<P::State>, seed: u64) -> Self {
         let counts = CountConfiguration::from_configuration(&protocol, config);
         Self::new(protocol, counts, seed)
@@ -537,12 +559,18 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
 
     /// Creates a batched simulation from the protocol's clean initial
     /// configuration.
+    ///
+    /// Builds the counts directly via
+    /// [`CountConfiguration::from_clean_init`] — no `O(n)` per-agent vector
+    /// is ever materialized, so construction at `n = 10⁸⁺` stays within
+    /// `O(#occupied states)` memory. Supports the same population range as
+    /// [`Self::try_new`].
     pub fn clean(protocol: P, seed: u64) -> Self
     where
         P: CleanInit,
     {
-        let config = Configuration::clean(&protocol);
-        Self::from_configuration(protocol, &config, seed)
+        let counts = CountConfiguration::from_clean_init(&protocol);
+        Self::new(protocol, counts, seed)
     }
 
     /// The protocol being simulated.
@@ -586,8 +614,9 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
     /// ordered pairs). [`crate::AdaptiveSimulation`] reads this to decide
     /// when the batched engine should hand off to the multi-batch engine.
     pub fn active_fraction(&self) -> f64 {
-        let n = self.counts.population();
-        self.pairs.total_weight() as f64 / (n * (n - 1)) as f64
+        // f64 division; the u64 product n(n−1) would overflow past n ≈ 2³².
+        let n = self.counts.population() as f64;
+        self.pairs.total_weight() as f64 / (n * (n - 1.0))
     }
 
     /// Decomposes the simulation into its protocol and current count
@@ -618,7 +647,9 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
     fn advance_batch(&mut self, budget: u64) -> BatchOutcome {
         debug_assert!(budget > 0);
         let n = self.counts.population();
-        let total_pairs = n * (n - 1);
+        // The exact n(n−1) overflows u64 past n ≈ 2³²; the ratio below only
+        // feeds a geometric sampler, so f64 precision is all that is needed.
+        let total_pairs = n as f64 * (n - 1) as f64;
         let total_weight = self.pairs.total_weight();
         if total_weight == 0 {
             // Every occupied pair is silent: the configuration is frozen
@@ -630,7 +661,7 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
                 stalled: true,
             };
         }
-        let p_active = total_weight as f64 / total_pairs as f64;
+        let p_active = total_weight as f64 / total_pairs;
         let silent = if p_active >= 1.0 {
             0
         } else {
@@ -653,7 +684,9 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
         let (u, v) = match self.pairs.sole_positive_pair() {
             Some(pair) => pair,
             None => {
-                let threshold = uniform_below(&mut self.rng, total_weight);
+                // For totals within u64 this consumes the identical RNG
+                // stream as the historical u64 draw (see `uniform_below_u128`).
+                let threshold = uniform_below_u128(&mut self.rng, total_weight);
                 self.pairs.select(threshold)
             }
         };
@@ -954,14 +987,14 @@ mod tests {
 
     #[test]
     fn fenwick_prefix_search_matches_linear_scan() {
-        let weights = [3u64, 0, 5, 1, 0, 7, 2];
+        let weights = [3u128, 0, 5, 1, 0, 7, 2];
         let mut tree = Fenwick::default();
         for &w in &weights {
             tree.push(w);
         }
-        let total: u64 = weights.iter().sum();
+        let total: u128 = weights.iter().sum();
         for threshold in 0..total {
-            let mut acc = 0u64;
+            let mut acc = 0u128;
             let expected = weights
                 .iter()
                 .position(|&w| {
@@ -974,10 +1007,10 @@ mod tests {
         // Updates (including to and from zero) keep the search exact.
         tree.update(2, 5, 0);
         tree.update(1, 0, 4);
-        let weights = [3u64, 4, 0, 1, 0, 7, 2];
-        let total: u64 = weights.iter().sum();
+        let weights = [3u128, 4, 0, 1, 0, 7, 2];
+        let total: u128 = weights.iter().sum();
         for threshold in 0..total {
-            let mut acc = 0u64;
+            let mut acc = 0u128;
             let expected = weights
                 .iter()
                 .position(|&w| {
@@ -986,6 +1019,107 @@ mod tests {
                 })
                 .unwrap();
             assert_eq!(tree.search(threshold), expected, "threshold {threshold}");
+        }
+    }
+
+    /// Pair weights reach `2⁶⁶` here (`c_u = c_v = 2³³`, population `2³⁴`),
+    /// past both the old `u32::MAX` population gate and the u64 weight
+    /// ceiling — the run must proceed with exact u128 weights and bounded
+    /// (state-count, not population) memory.
+    #[test]
+    fn u128_weights_run_beyond_the_old_u32_population_bound() {
+        let half = 1u64 << 33;
+        let n = 2 * half; // 2³⁴ > u32::MAX
+        let p = OneWayEpidemic::new(n as usize, half as usize);
+        let counts = CountConfiguration::from_counts(vec![half, half]);
+        let mut sim = BatchSimulation::new(p, counts, 21);
+        let expected_weight = u128::from(half) * u128::from(half);
+        assert_eq!(sim.pairs.total_weight(), expected_weight);
+        assert!(expected_weight > u128::from(u64::MAX));
+        let frac = sim.active_fraction();
+        assert!(frac > 0.24 && frac < 0.26, "activity ≈ 1/4, got {frac}");
+        let active = sim.run(400);
+        assert_eq!(sim.interactions(), 400);
+        assert!(active > 0, "expected ≈100 infections in 400 interactions");
+        assert_eq!(sim.counts().count(1), half + active);
+        sim.pairs.assert_consistent(&sim.protocol, &sim.counts);
+    }
+
+    #[test]
+    fn try_new_rejects_populations_past_the_engine_bound() {
+        use crate::count_config::MAX_POPULATION;
+        let over = MAX_POPULATION / 2 + 1;
+        let p = OneWayEpidemic::new((2 * over) as usize, over as usize);
+        let counts = CountConfiguration::from_counts(vec![over, over]);
+        let err = BatchSimulation::try_new(p, counts, 0).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::UnsupportedPopulation {
+                population: 2 * over,
+                limit: MAX_POPULATION,
+            }
+        );
+    }
+
+    mod boundary_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A weight either tiny or within 8 of `u64::MAX`, so sums routinely
+        /// cross the u64 boundary the old representation lived at.
+        fn near_boundary_weight() -> impl Strategy<Value = u128> {
+            (any::<bool>(), 0u64..9).prop_map(|(near_top, k)| {
+                if near_top {
+                    u128::from(u64::MAX - k)
+                } else {
+                    u128::from(k)
+                }
+            })
+        }
+
+        proptest! {
+            /// Satellite: drive slot weights near the u64 boundary and pin
+            /// the checked `total_weight` mirror and the Fenwick prefix
+            /// search against a brute-force u128 sum.
+            #[test]
+            fn pair_index_totals_stay_exact_near_the_u64_boundary(
+                initial in proptest::collection::vec(near_boundary_weight(), 1..10),
+                updates in proptest::collection::vec(
+                    (0usize..10, near_boundary_weight()),
+                    0..16,
+                ),
+                threshold_unit in 0.0f64..1.0,
+            ) {
+                let mut index = PairIndex::default();
+                index.grow(initial.len());
+                let mut mirror = initial.clone();
+                for (s, &w) in initial.iter().enumerate() {
+                    // Diagonal pairs (s, s): distinct keys, one state each.
+                    index.add_slot(s, s, w);
+                }
+                for &(slot, w) in &updates {
+                    let slot = slot % mirror.len();
+                    index.set_weight(slot, w);
+                    mirror[slot] = w;
+                }
+                let brute: u128 = mirror.iter().sum();
+                prop_assert_eq!(index.total_weight(), brute);
+                if brute > 0 {
+                    // A threshold anywhere in [0, total) must select the
+                    // same slot as a linear scan of the mirror.
+                    let threshold =
+                        ((threshold_unit * brute as f64) as u128).min(brute - 1);
+                    let mut acc = 0u128;
+                    let expected = mirror
+                        .iter()
+                        .position(|&w| {
+                            acc += w;
+                            threshold < acc
+                        })
+                        .unwrap();
+                    prop_assert_eq!(index.select(threshold), (expected, expected));
+                }
+            }
         }
     }
 }

@@ -13,10 +13,24 @@
 
 use crate::configuration::Configuration;
 use crate::enumerable::EnumerableProtocol;
+use crate::error::SimError;
+use crate::protocol::{AgentId, CleanInit};
 use rand::distributions::{Binomial, Distribution};
 use rand::RngCore;
 use serde::Serialize;
 use std::fmt;
+
+/// The largest population the count engines accept: `2⁶²` agents.
+///
+/// Pair weights (`c_u · c_v` and the `n(n−1)` ordered-pair total) are kept
+/// exact by widening through `u128`, which would tolerate any `u64`
+/// population; the bound is set one comfortable notch below so every derived
+/// quantity stays well-behaved too — `2n` and interaction budgets of the
+/// form `c · n · ln n` remain representable in `u64`, and the f64
+/// conversions used for activity fractions and geometric/survival sampling
+/// keep at least 10 bits of headroom. Populations beyond the bound are
+/// rejected with [`crate::SimError::UnsupportedPopulation`].
+pub const MAX_POPULATION: u64 = 1 << 62;
 
 /// A configuration stored as per-state agent counts.
 #[derive(Clone, PartialEq, Eq, Serialize)]
@@ -72,6 +86,48 @@ impl CountConfiguration {
         CountConfiguration {
             counts,
             population: config.len() as u64,
+        }
+    }
+
+    /// Builds the count view of the protocol's **clean** initial
+    /// configuration directly, without materializing the `O(n)` per-agent
+    /// state vector that [`Configuration::clean`] +
+    /// [`CountConfiguration::from_configuration`] would allocate.
+    ///
+    /// Agents are visited in index order and their clean states encoded one
+    /// at a time, so for dynamically indexed protocols
+    /// ([`crate::indexer::DiscoveredProtocol`]) the interning order — and
+    /// therefore every downstream trajectory — is identical to the
+    /// per-agent path. Peak memory is `O(#occupied states)`, which is what
+    /// lets the count engines construct at `n = 10⁸⁺` without an `O(n)`
+    /// allocation spike.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is empty or any state encodes outside
+    /// `0..num_states()` (evaluated after all states have been encoded).
+    pub fn from_clean_init<P: EnumerableProtocol + CleanInit>(protocol: &P) -> Self {
+        let n = protocol.population_size();
+        assert!(n > 0, "a population must have at least one agent");
+        let mut counts = Vec::new();
+        for agent in 0..n {
+            let state = protocol.clean_state(AgentId::new(agent));
+            let index = protocol.encode(&state);
+            if index >= counts.len() {
+                counts.resize(index + 1, 0u64);
+            }
+            counts[index] += 1;
+        }
+        let q = protocol.num_states();
+        assert!(
+            counts.len() <= q,
+            "a state encodes to {}, outside 0..{q}",
+            counts.len() - 1
+        );
+        counts.resize(q, 0);
+        CountConfiguration {
+            counts,
+            population: n as u64,
         }
     }
 
@@ -257,6 +313,50 @@ impl CountConfiguration {
     }
 }
 
+/// Validates that `counts` is a usable initial configuration for a count
+/// engine over `protocol` — shared by every engine constructor so all tiers
+/// accept and reject inputs identically.
+///
+/// The error `reason` strings are stable: engine `new` constructors surface
+/// them verbatim in panics, and downstream tests match on their substrings.
+pub(crate) fn validate_engine_inputs<P: EnumerableProtocol>(
+    protocol: &P,
+    counts: &CountConfiguration,
+) -> Result<(), SimError> {
+    if counts.num_states() != protocol.num_states() {
+        return Err(SimError::InvalidParameters {
+            reason: format!(
+                "count configuration must track the protocol's state space \
+                 ({} states given, {} expected)",
+                counts.num_states(),
+                protocol.num_states()
+            ),
+        });
+    }
+    if counts.population() != protocol.population_size() as u64 {
+        return Err(SimError::InvalidParameters {
+            reason: format!(
+                "configuration size must match the protocol's population size \
+                 ({} agents given, {} expected)",
+                counts.population(),
+                protocol.population_size()
+            ),
+        });
+    }
+    if counts.population() < 2 {
+        return Err(SimError::InvalidParameters {
+            reason: "the uniform scheduler requires at least two agents".into(),
+        });
+    }
+    if counts.population() > MAX_POPULATION {
+        return Err(SimError::UnsupportedPopulation {
+            population: counts.population(),
+            limit: MAX_POPULATION,
+        });
+    }
+    Ok(())
+}
+
 impl fmt::Debug for CountConfiguration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CountConfiguration")
@@ -314,6 +414,54 @@ mod tests {
         let back = counts.to_configuration(&p);
         let again = CountConfiguration::from_configuration(&p, &back);
         assert_eq!(counts, again);
+    }
+
+    /// The flat clean→counts path must agree exactly with the historical
+    /// per-agent materialization (same counts, same interning order for
+    /// dynamic indexers — pinned separately in `indexer`).
+    #[test]
+    fn from_clean_init_matches_the_per_agent_path() {
+        let p = ModK { n: 10, k: 3 };
+        let via_config = CountConfiguration::from_configuration(&p, &Configuration::clean(&p));
+        let flat = CountConfiguration::from_clean_init(&p);
+        assert_eq!(flat, via_config);
+        assert_eq!(flat.counts(), &[4, 3, 3]);
+        assert_eq!(flat.population(), 10);
+    }
+
+    /// One check per rejection path, pinning the stable reason substrings
+    /// engine constructor tests match on.
+    #[test]
+    fn validate_engine_inputs_covers_each_failure() {
+        let p = ModK { n: 10, k: 3 };
+        let good = CountConfiguration::from_clean_init(&p);
+        assert!(validate_engine_inputs(&p, &good).is_ok());
+
+        let wrong_q = CountConfiguration::from_counts(vec![10]);
+        let err = validate_engine_inputs(&p, &wrong_q).unwrap_err();
+        assert!(err.to_string().contains("state space"), "{err}");
+
+        let wrong_n = CountConfiguration::from_counts(vec![4, 3, 2]);
+        let err = validate_engine_inputs(&p, &wrong_n).unwrap_err();
+        assert!(err.to_string().contains("must match"), "{err}");
+
+        let lonely = ModK { n: 1, k: 3 };
+        let one = CountConfiguration::from_counts(vec![1, 0, 0]);
+        let err = validate_engine_inputs(&lonely, &one).unwrap_err();
+        assert!(err.to_string().contains("at least two agents"), "{err}");
+
+        let giant = ModK {
+            n: (MAX_POPULATION as usize) + 2,
+            k: 3,
+        };
+        let over = CountConfiguration::from_counts(vec![MAX_POPULATION + 2, 0, 0]);
+        assert_eq!(
+            validate_engine_inputs(&giant, &over),
+            Err(SimError::UnsupportedPopulation {
+                population: MAX_POPULATION + 2,
+                limit: MAX_POPULATION,
+            })
+        );
     }
 
     #[test]

@@ -74,6 +74,7 @@ use crate::configuration::Configuration;
 use crate::convergence::{StabilizationDetector, StabilizationResult};
 use crate::count_config::CountConfiguration;
 use crate::enumerable::EnumerableProtocol;
+use crate::error::SimError;
 use crate::multibatch::MultiBatchSimulation;
 use crate::protocol::CleanInit;
 use crate::rng::derive_seed;
@@ -301,15 +302,22 @@ fn measured_active_fraction<P: EnumerableProtocol>(
 ) -> f64 {
     let n = counts.population();
     let occupied: Vec<(usize, u64)> = counts.occupied().collect();
-    let mut weight = 0u64;
+    // u128 accumulation: a single product c_u · c_v overflows u64 once both
+    // counts pass 2³², and the total reaches n(n−1). The denominator is an
+    // f64 product for the same reason.
+    let mut weight = 0u128;
     for &(u, cu) in &occupied {
         for &(v, cv) in &occupied {
             if !protocol.is_silent(u, v) {
-                weight += if u == v { cu * (cu - 1) } else { cu * cv };
+                weight += if u == v {
+                    u128::from(cu) * u128::from(cu - 1)
+                } else {
+                    u128::from(cu) * u128::from(cv)
+                };
             }
         }
     }
-    weight as f64 / (n * (n - 1)) as f64
+    weight as f64 / (n as f64 * (n - 1) as f64)
 }
 
 /// The per-agent engine behind the unified count-predicate surface.
@@ -339,6 +347,14 @@ pub struct PerStepEngine<P: EnumerableProtocol> {
 
 impl<P: EnumerableProtocol> PerStepEngine<P> {
     /// Creates a per-step engine from a per-agent configuration.
+    ///
+    /// # Supported populations
+    ///
+    /// Any `n ≥ 2` that fits in memory — but the engine *is* `O(n)` in both
+    /// memory (the per-agent state vector and its encoded mirror) and time
+    /// (every interaction is executed), so it is practical up to `n ≈ 10⁶`;
+    /// use the count engines ([`BatchSimulation`],
+    /// [`MultiBatchSimulation`], [`AdaptiveSimulation`]) beyond that.
     ///
     /// # Panics
     ///
@@ -570,27 +586,30 @@ impl Default for AdaptiveConfig {
 impl AdaptiveConfig {
     /// Resolves the auto values against a population size and validates the
     /// band.
-    fn resolved(self, n: u64) -> Self {
-        assert!(
-            self.low_activity < self.high_activity,
-            "hysteresis band requires low_activity < high_activity"
-        );
-        AdaptiveConfig {
+    fn try_resolved(self, n: u64) -> Result<Self, SimError> {
+        if self.low_activity >= self.high_activity {
+            return Err(SimError::InvalidParameters {
+                reason: "hysteresis band requires low_activity < high_activity".into(),
+            });
+        }
+        Ok(AdaptiveConfig {
             check_interval: if self.check_interval == 0 {
                 n.max(1024)
             } else {
                 self.check_interval
             },
             ..self
-        }
+        })
     }
 }
 
 /// The currently active engine of an [`AdaptiveSimulation`].
 #[derive(Debug)]
 enum ActiveEngine<P: EnumerableProtocol> {
-    Batched(BatchSimulation<P>),
-    MultiBatch(MultiBatchSimulation<P>),
+    // Boxed so the enum stays pointer-sized regardless of how wide the
+    // engines' inline state (u128 Fenwick bookkeeping and friends) grows.
+    Batched(Box<BatchSimulation<P>>),
+    MultiBatch(Box<MultiBatchSimulation<P>>),
     /// Transient state during a handoff only; observable states are always
     /// one of the two engines.
     Swapping,
@@ -633,42 +652,82 @@ impl<P: EnumerableProtocol> AdaptiveSimulation<P> {
     /// Creates an adaptive simulation from an explicit count configuration
     /// with the default [`AdaptiveConfig`].
     ///
+    /// # Supported populations
+    ///
+    /// `2 ≤ n ≤ 2⁶²` ([`crate::count_config::MAX_POPULATION`]) — the
+    /// adaptive tier accepts exactly what its two inner count engines
+    /// accept, and inherits their `O(#occupied states + √n)` memory bound.
+    ///
     /// # Panics
     ///
-    /// As for [`BatchSimulation::new`] (population/state-space mismatches),
-    /// plus an invalid [`AdaptiveConfig`] hysteresis band.
+    /// Panics on any input [`Self::try_with_config`] rejects.
     pub fn new(protocol: P, counts: CountConfiguration, seed: u64) -> Self {
         Self::with_config(protocol, counts, seed, AdaptiveConfig::default())
     }
 
-    /// Creates an adaptive simulation with an explicit switching policy.
-    /// The initial engine is chosen by measuring the initial activity
-    /// against [`AdaptiveConfig::high_activity`].
-    pub fn with_config(
+    /// Creates an adaptive simulation with an explicit switching policy,
+    /// returning a typed error on invalid input. The initial engine is
+    /// chosen by measuring the initial activity against
+    /// [`AdaptiveConfig::high_activity`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidParameters`] for population/state-space mismatches
+    /// (as for [`BatchSimulation::try_new`]) or an inverted
+    /// [`AdaptiveConfig`] hysteresis band;
+    /// [`SimError::UnsupportedPopulation`] past the engine bound.
+    pub fn try_with_config(
         protocol: P,
         counts: CountConfiguration,
         seed: u64,
         config: AdaptiveConfig,
-    ) -> Self {
-        let config = config.resolved(counts.population());
+    ) -> Result<Self, SimError> {
+        crate::count_config::validate_engine_inputs(&protocol, &counts)?;
+        let config = config.try_resolved(counts.population())?;
         let fraction = measured_active_fraction(&protocol, &counts);
         let engine_seed = derive_seed(seed, 0);
         let inner = if fraction > config.high_activity {
-            ActiveEngine::MultiBatch(MultiBatchSimulation::new(protocol, counts, engine_seed))
+            ActiveEngine::MultiBatch(Box::new(MultiBatchSimulation::try_new(
+                protocol,
+                counts,
+                engine_seed,
+            )?))
         } else {
-            ActiveEngine::Batched(BatchSimulation::new(protocol, counts, engine_seed))
+            ActiveEngine::Batched(Box::new(BatchSimulation::try_new(
+                protocol,
+                counts,
+                engine_seed,
+            )?))
         };
-        AdaptiveSimulation {
+        Ok(AdaptiveSimulation {
             inner,
             seed,
             handoffs: 0,
             base_interactions: 0,
             until_check: config.check_interval,
             config,
-        }
+        })
+    }
+
+    /// Creates an adaptive simulation with an explicit switching policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any input [`Self::try_with_config`] rejects.
+    pub fn with_config(
+        protocol: P,
+        counts: CountConfiguration,
+        seed: u64,
+        config: AdaptiveConfig,
+    ) -> Self {
+        Self::try_with_config(protocol, counts, seed, config).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Creates an adaptive simulation from a per-agent configuration.
+    ///
+    /// Supports the same population range as [`Self::try_with_config`],
+    /// though the per-agent input is itself `O(n)` — start from counts (or
+    /// [`Self::clean`]) for very large populations.
     pub fn from_configuration(protocol: P, config: &Configuration<P::State>, seed: u64) -> Self {
         let counts = CountConfiguration::from_configuration(&protocol, config);
         Self::new(protocol, counts, seed)
@@ -676,12 +735,17 @@ impl<P: EnumerableProtocol> AdaptiveSimulation<P> {
 
     /// Creates an adaptive simulation from the protocol's clean initial
     /// configuration.
+    ///
+    /// Builds the counts directly via
+    /// [`CountConfiguration::from_clean_init`] — no `O(n)` per-agent vector
+    /// is ever materialized. Supports the same population range as
+    /// [`Self::try_with_config`].
     pub fn clean(protocol: P, seed: u64) -> Self
     where
         P: CleanInit,
     {
-        let config = Configuration::clean(&protocol);
-        Self::from_configuration(protocol, &config, seed)
+        let counts = CountConfiguration::from_clean_init(&protocol);
+        Self::new(protocol, counts, seed)
     }
 
     /// The engine currently executing interactions
@@ -723,12 +787,14 @@ impl<P: EnumerableProtocol> AdaptiveSimulation<P> {
             ActiveEngine::Batched(sim) => {
                 self.base_interactions += sim.interactions();
                 let (protocol, counts) = sim.into_parts();
-                ActiveEngine::MultiBatch(MultiBatchSimulation::new(protocol, counts, next_seed))
+                ActiveEngine::MultiBatch(Box::new(MultiBatchSimulation::new(
+                    protocol, counts, next_seed,
+                )))
             }
             ActiveEngine::MultiBatch(sim) => {
                 self.base_interactions += sim.interactions();
                 let (protocol, counts) = sim.into_parts();
-                ActiveEngine::Batched(BatchSimulation::new(protocol, counts, next_seed))
+                ActiveEngine::Batched(Box::new(BatchSimulation::new(protocol, counts, next_seed)))
             }
             ActiveEngine::Swapping => unreachable!("engine mid-handoff"),
         };
@@ -1065,14 +1131,19 @@ impl<P: EnumerableProtocol + 'static> SimBuilder<P> {
     }
 
     /// The chosen init as a count configuration.
+    ///
+    /// The clean init goes through the flat
+    /// [`CountConfiguration::from_clean_init`] path — never materializing an
+    /// `O(n)` per-agent vector — so count-engine builds stay
+    /// `O(#occupied states)` in memory at any population size.
     fn count_config(protocol: &P, init: BuilderInit<P::State>) -> CountConfiguration
     where
         P: CleanInit,
     {
         match init {
             BuilderInit::Counts(counts) => counts,
-            init => {
-                let config = Self::per_agent_config(protocol, init);
+            BuilderInit::Clean => CountConfiguration::from_clean_init(protocol),
+            BuilderInit::PerAgent(config) => {
                 CountConfiguration::from_configuration(protocol, &config)
             }
         }
@@ -1317,6 +1388,68 @@ mod tests {
             "the near-complete epidemic is silent again"
         );
         assert_eq!(sim.interactions(), out.interactions);
+    }
+
+    /// Satellite regression: an adaptive run that hands off
+    /// batched → multibatch → batched must construct the multi-batch
+    /// survival table exactly once — later multibatch entries hit the
+    /// thread-local cache instead of rebuilding the `O(√n)` table.
+    #[test]
+    fn adaptive_handoffs_reuse_the_survival_table() {
+        use crate::multibatch::survival_table_builds;
+        // A population no other test on this thread uses (libtest runs each
+        // test on its own thread, so the counter starts fresh anyway).
+        let n = 633;
+        let before = survival_table_builds();
+        let mut sim = SimBuilder::new(OneWayEpidemic::new(n, 1))
+            .seed(7)
+            .adaptive_config(switchy())
+            .build_adaptive();
+        let out = sim.run_until(|c| c.count(INFORMED) == c.population(), u64::MAX);
+        assert!(out.satisfied);
+        assert!(
+            sim.handoffs() >= 2,
+            "run must actually hand off (got {})",
+            sim.handoffs()
+        );
+        assert_eq!(
+            survival_table_builds() - before,
+            1,
+            "multibatch handoffs rebuilt the survival table"
+        );
+        // Force one more batched → multibatch handoff: a pure cache hit.
+        assert_eq!(sim.current_kind(), EngineKind::Batched);
+        let after_run = survival_table_builds();
+        sim.swap();
+        assert_eq!(sim.current_kind(), EngineKind::MultiBatch);
+        assert_eq!(
+            survival_table_builds(),
+            after_run,
+            "re-entering multibatch rebuilt the survival table"
+        );
+    }
+
+    #[test]
+    fn adaptive_try_with_config_surfaces_typed_errors() {
+        let protocol = OneWayEpidemic::new(8, 1);
+        let counts = CountConfiguration::from_counts(vec![3, 1]);
+        let err =
+            AdaptiveSimulation::try_with_config(protocol, counts, 0, AdaptiveConfig::default())
+                .unwrap_err();
+        assert!(err.to_string().contains("must match"), "{err}");
+
+        let protocol = OneWayEpidemic::new(8, 1);
+        let counts = CountConfiguration::from_counts(vec![7, 1]);
+        let bad_band = AdaptiveConfig {
+            low_activity: 0.5,
+            high_activity: 0.1,
+            check_interval: 0,
+        };
+        let err = AdaptiveSimulation::try_with_config(protocol, counts, 0, bad_band).unwrap_err();
+        assert!(
+            err.to_string().contains("low_activity < high_activity"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -16,6 +16,20 @@ pub enum SimError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// The population size exceeds what the engine's arithmetic supports.
+    ///
+    /// The count engines keep pair weights (`c_u · c_v`, summing to
+    /// `n(n−1)`) exact by widening through `u128`; the documented engine
+    /// bound ([`crate::count_config::MAX_POPULATION`]) is where that
+    /// guarantee — and the f64 activity/probability conversions built on it
+    /// — stops. Larger populations are a genuinely unsupported size, not a
+    /// recoverable configuration.
+    UnsupportedPopulation {
+        /// The requested population size `n`.
+        population: u64,
+        /// The largest supported population.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -29,6 +43,12 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidParameters { reason } => {
                 write!(f, "invalid protocol parameters: {reason}")
+            }
+            SimError::UnsupportedPopulation { population, limit } => {
+                write!(
+                    f,
+                    "population {population} exceeds the supported maximum of {limit} agents"
+                )
             }
         }
     }
@@ -48,5 +68,12 @@ mod tests {
             reason: "r must be at least 1".into(),
         };
         assert!(e.to_string().contains("r must be at least 1"));
+        let e = SimError::UnsupportedPopulation {
+            population: 1 << 63,
+            limit: 1 << 62,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains(&(1u64 << 63).to_string()));
+        assert!(msg.contains(&(1u64 << 62).to_string()));
     }
 }

@@ -578,6 +578,40 @@ mod tests {
     }
 
     #[test]
+    fn flat_clean_path_matches_the_per_agent_path() {
+        // `CountConfiguration::from_clean_init` must intern states in the
+        // same agent-index order as materializing `Configuration::clean` and
+        // encoding it agent by agent — otherwise the two construction paths
+        // would hand the engines different index assignments for the same
+        // protocol and break snapshot reproducibility.
+        let flat = DiscoveredProtocol::new(Spread(16));
+        let flat_counts = crate::CountConfiguration::from_clean_init(&flat);
+
+        let per_agent = DiscoveredProtocol::new(Spread(16));
+        let config = Configuration::clean(&per_agent);
+        let per_agent_counts = crate::CountConfiguration::from_configuration(&per_agent, &config);
+
+        assert_eq!(flat.num_states(), per_agent.num_states());
+        assert_eq!(flat_counts.num_states(), per_agent_counts.num_states());
+        for i in 0..flat.num_states() {
+            assert_eq!(
+                flat.decode(i),
+                per_agent.decode(i),
+                "interning order at {i}"
+            );
+            assert_eq!(
+                flat_counts.count(i),
+                per_agent_counts.count(i),
+                "count at {i}"
+            );
+        }
+        // Agent 0 is the informed source, so `true` is discovered first.
+        assert!(flat.decode(0));
+        assert_eq!(flat_counts.count(0), 1);
+        assert_eq!(flat_counts.count(1), 15);
+    }
+
+    #[test]
     fn discovered_epidemic_completes_under_the_batched_engine() {
         let p = DiscoveredProtocol::new(Spread(128));
         let mut sim = BatchSimulation::clean(p, 11);

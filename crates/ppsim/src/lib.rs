@@ -97,6 +97,7 @@ pub mod epidemic;
 pub mod error;
 pub mod fleet;
 pub mod indexer;
+pub mod mem;
 pub mod metrics;
 pub mod multibatch;
 pub mod protocol;
@@ -110,7 +111,7 @@ pub use batched::BatchSimulation;
 pub use coin::SyntheticCoin;
 pub use configuration::Configuration;
 pub use convergence::{StabilizationDetector, StabilizationResult};
-pub use count_config::CountConfiguration;
+pub use count_config::{CountConfiguration, MAX_POPULATION};
 pub use engine::{
     AdaptiveConfig, AdaptiveSimulation, EngineKind, PerStepEngine, PredicateGranularity,
     SimBuilder, SimulationEngine,
@@ -119,6 +120,7 @@ pub use enumerable::EnumerableProtocol;
 pub use error::SimError;
 pub use fleet::{FleetStats, KsReservoir, RunningStats, TrialFleet};
 pub use indexer::{DiscoveredProtocol, SupportEnumerable};
+pub use mem::{peak_rss_bytes, reset_peak_rss};
 pub use metrics::InteractionMetrics;
 pub use multibatch::MultiBatchSimulation;
 pub use protocol::{AgentId, CleanInit, InteractionCtx, LeaderOutput, Protocol, RankingOutput};

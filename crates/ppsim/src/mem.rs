@@ -1,0 +1,58 @@
+//! Process-memory observation for scale experiments.
+//!
+//! The large-`n` acceptance story of the count engines is a *memory* claim
+//! as much as a speed claim: peak RSS must stay bounded by occupied states,
+//! not by the population. This module reads the kernel's own high-water
+//! mark so experiments (E10's memory column) and the large-`n` smoke tests
+//! can report and assert it without any external tooling.
+//!
+//! Linux-only by nature — on other platforms the readings are `None` and
+//! callers degrade to reporting `n/a`.
+
+use std::fs;
+
+/// The process's peak resident set size (`VmHWM`) in bytes, or `None` where
+/// `/proc/self/status` is unavailable (non-Linux platforms).
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kib * 1024);
+        }
+    }
+    None
+}
+
+/// Resets the kernel's peak-RSS watermark to the *current* RSS by writing
+/// `5` to `/proc/self/clear_refs`, so a subsequent [`peak_rss_bytes`] reads
+/// the peak of just the work in between. Returns whether the reset took
+/// effect (it requires Linux and write access to the proc file); when it
+/// fails, watermarks are monotone over the process lifetime and per-section
+/// attribution is approximate.
+pub fn reset_peak_rss() -> bool {
+    fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_positive_on_linux() {
+        let peak = peak_rss_bytes().expect("Linux exposes VmHWM");
+        // Any live process has at least a page resident.
+        assert!(peak > 4096, "implausible peak RSS {peak}");
+    }
+
+    #[test]
+    fn reset_does_not_disturb_reading() {
+        // Whether or not the reset is permitted, a reading taken afterwards
+        // must still parse (or stay None off-Linux).
+        let _ = reset_peak_rss();
+        if let Some(peak) = peak_rss_bytes() {
+            assert!(peak > 0);
+        }
+    }
+}

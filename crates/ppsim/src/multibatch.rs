@@ -49,13 +49,17 @@
 use crate::batched::sample_support;
 use crate::configuration::Configuration;
 use crate::convergence::{StabilizationDetector, StabilizationResult};
-use crate::count_config::CountConfiguration;
+use crate::count_config::{validate_engine_inputs, CountConfiguration};
 use crate::enumerable::EnumerableProtocol;
+use crate::error::SimError;
 use crate::protocol::{CleanInit, InteractionCtx};
-use crate::rng::{uniform_below, SimRng};
+use crate::rng::{uniform_below, uniform_below_u128, SimRng};
 use crate::simulation::{RunOutcome, StabilizationOptions};
 use rand::distributions::{hypergeometric_split, multinomial_split};
 use rand::RngCore;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// The smallest uniform variate the open-(0,1) draw can produce is `2⁻⁵⁴`,
 /// so survival entries below `ln 2⁻⁵⁴ ≈ −37.4` can never be selected; the
@@ -90,6 +94,48 @@ fn collision_survival_table(n: u64) -> Vec<f64> {
         touched += 2;
     }
     table
+}
+
+thread_local! {
+    /// Per-thread survival tables keyed by population size. Engines on one
+    /// thread (a fleet worker, an adaptive handoff sequence) share one
+    /// `Rc<[f64]>` per `n` instead of rebuilding the `O(√n)` table on every
+    /// construction.
+    static SURVIVAL_CACHE: RefCell<HashMap<u64, Rc<[f64]>>> = RefCell::new(HashMap::new());
+    /// Cache-miss counter backing [`survival_table_builds`].
+    static SURVIVAL_BUILDS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A few distinct populations cover any realistic workload on one thread;
+/// past this the cache resets rather than growing without bound.
+const SURVIVAL_CACHE_CAPACITY: usize = 8;
+
+/// The survival table for population `n`, shared through the thread-local
+/// cache (built at most once per thread and population).
+fn shared_survival_table(n: u64) -> Rc<[f64]> {
+    SURVIVAL_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(table) = cache.get(&n) {
+            return Rc::clone(table);
+        }
+        if cache.len() >= SURVIVAL_CACHE_CAPACITY {
+            cache.clear();
+        }
+        let table: Rc<[f64]> = collision_survival_table(n).into();
+        SURVIVAL_BUILDS.with(|builds| builds.set(builds.get() + 1));
+        cache.insert(n, Rc::clone(&table));
+        table
+    })
+}
+
+/// Number of survival tables actually *built* on the current thread so far
+/// (cache misses; cache hits do not count).
+///
+/// Exposed so tests can pin that repeated engine constructions — in
+/// particular [`crate::AdaptiveSimulation`] handoffs — reuse the shared
+/// table instead of reconstructing it.
+pub fn survival_table_builds() -> u64 {
+    SURVIVAL_BUILDS.with(Cell::get)
 }
 
 /// A uniform draw in the open interval `(0, 1)`, so its log is finite.
@@ -129,51 +175,55 @@ pub struct MultiBatchSimulation<P: EnumerableProtocol> {
     rng: SimRng,
     interactions: u64,
     epochs: u64,
-    ln_collision_survival: Vec<f64>,
+    ln_collision_survival: Rc<[f64]>,
 }
 
 impl<P: EnumerableProtocol> MultiBatchSimulation<P> {
-    /// Creates a multi-batch simulation from an explicit count configuration.
+    /// Creates a multi-batch simulation from an explicit count
+    /// configuration, returning a typed error on invalid input.
     ///
-    /// # Panics
+    /// # Supported populations
     ///
-    /// Panics if the configuration's state count does not match
-    /// [`EnumerableProtocol::num_states`], if its population does not match
-    /// [`crate::Protocol::population_size`], or if the population has fewer
-    /// than two agents.
-    pub fn new(protocol: P, counts: CountConfiguration, seed: u64) -> Self {
-        assert_eq!(
-            counts.num_states(),
-            protocol.num_states(),
-            "count configuration must track the protocol's state space"
-        );
-        assert_eq!(
-            counts.population() as usize,
-            protocol.population_size(),
-            "configuration size must match the protocol's population size"
-        );
-        assert!(
-            counts.population() >= 2,
-            "the uniform scheduler requires at least two agents"
-        );
-        // The pair-case weights (touched², touched · untouched) are u64
-        // products; bounding n at 2³² keeps them representable.
-        assert!(
-            counts.population() <= u64::from(u32::MAX),
-            "the multi-batch engine supports populations up to 2^32 - 1"
-        );
-        let ln_collision_survival = collision_survival_table(counts.population());
-        MultiBatchSimulation {
+    /// `2 ≤ n ≤ 2⁶²` ([`crate::count_config::MAX_POPULATION`]): collision
+    /// weights widen through `u128`, and memory is `O(#occupied states +
+    /// √n)` (the shared survival table holds `O(√n)` entries, built at most
+    /// once per thread and population). Larger populations yield
+    /// [`SimError::UnsupportedPopulation`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidParameters`] if the configuration's state count
+    /// does not match [`EnumerableProtocol::num_states`], its population
+    /// does not match [`crate::Protocol::population_size`], or the
+    /// population has fewer than two agents;
+    /// [`SimError::UnsupportedPopulation`] past the engine bound.
+    pub fn try_new(protocol: P, counts: CountConfiguration, seed: u64) -> Result<Self, SimError> {
+        validate_engine_inputs(&protocol, &counts)?;
+        let ln_collision_survival = shared_survival_table(counts.population());
+        Ok(MultiBatchSimulation {
             protocol,
             counts,
             rng: SimRng::seed_from_u64(seed),
             interactions: 0,
             epochs: 0,
             ln_collision_survival,
-        }
+        })
+    }
+
+    /// Creates a multi-batch simulation from an explicit count configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any input [`Self::try_new`] rejects.
+    pub fn new(protocol: P, counts: CountConfiguration, seed: u64) -> Self {
+        Self::try_new(protocol, counts, seed).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Creates a multi-batch simulation from a per-agent configuration.
+    ///
+    /// Supports the same population range as [`Self::try_new`], though the
+    /// per-agent input is itself `O(n)` — start from counts (or
+    /// [`Self::clean`]) for very large populations.
     pub fn from_configuration(protocol: P, config: &Configuration<P::State>, seed: u64) -> Self {
         let counts = CountConfiguration::from_configuration(&protocol, config);
         Self::new(protocol, counts, seed)
@@ -181,12 +231,17 @@ impl<P: EnumerableProtocol> MultiBatchSimulation<P> {
 
     /// Creates a multi-batch simulation from the protocol's clean initial
     /// configuration.
+    ///
+    /// Builds the counts directly via
+    /// [`CountConfiguration::from_clean_init`] — no `O(n)` per-agent vector
+    /// is ever materialized. Supports the same population range as
+    /// [`Self::try_new`].
     pub fn clean(protocol: P, seed: u64) -> Self
     where
         P: CleanInit,
     {
-        let config = Configuration::clean(&protocol);
-        Self::from_configuration(protocol, &config, seed)
+        let counts = CountConfiguration::from_clean_init(&protocol);
+        Self::new(protocol, counts, seed)
     }
 
     /// The protocol being simulated.
@@ -364,15 +419,20 @@ impl<P: EnumerableProtocol> MultiBatchSimulation<P> {
             // committed counts at large.
             let touched = 2 * free;
             let fresh = n - touched;
-            let w_both = touched * (touched - 1);
-            let w_cross = touched * fresh;
+            // `touched` is O(√n) but `fresh` approaches n, so the cross
+            // weight overflows u64 once n · √n passes 2⁶⁴ (n ≈ 4 × 10¹²);
+            // widening keeps the conditional pair-case draw exact up to the
+            // engine bound. For totals within u64 the u128 draw consumes the
+            // identical RNG stream (see `uniform_below_u128`).
+            let w_both = u128::from(touched) * u128::from(touched - 1);
+            let w_cross = u128::from(touched) * u128::from(fresh);
             let untouched: Vec<(usize, u64)> = occupied
                 .iter()
                 .enumerate()
                 .map(|(i, &(s, c))| (s, c - initiators[i] - responders[i]))
                 .filter(|&(_, c)| c > 0)
                 .collect();
-            let pick = uniform_below(&mut self.rng, w_both + 2 * w_cross);
+            let pick = uniform_below_u128(&mut self.rng, w_both + 2 * w_cross);
             let (cu, cv) = if pick < w_both {
                 // Both agents touched: two distinct draws from the outcomes.
                 let (entry, cu) = draw_from_multiset(&mut self.rng, &updated, touched);
@@ -510,6 +570,42 @@ mod tests {
             // Epoch lengths are bounded by the number of disjoint pairs.
             assert!(table.len() as u64 - 1 <= n / 2 + 1, "n = {n}");
         }
+    }
+
+    /// Engines for the same population must share one survival table
+    /// allocation per thread: exactly one build, pointer-equal tables.
+    #[test]
+    fn survival_tables_are_shared_per_population() {
+        // A population no other assertion in this test (or thread — libtest
+        // gives each test its own thread) uses.
+        let n = 77_777;
+        let before = survival_table_builds();
+        let a = MultiBatchSimulation::clean(OneWayEpidemic::new(n, 1), 1);
+        let b = MultiBatchSimulation::clean(OneWayEpidemic::new(n, 1), 2);
+        assert_eq!(survival_table_builds(), before + 1);
+        assert!(Rc::ptr_eq(
+            &a.ln_collision_survival,
+            &b.ln_collision_survival
+        ));
+        // A different population is a genuine miss.
+        let _c = MultiBatchSimulation::clean(OneWayEpidemic::new(n + 2, 1), 3);
+        assert_eq!(survival_table_builds(), before + 2);
+    }
+
+    #[test]
+    fn try_new_rejects_populations_past_the_engine_bound() {
+        use crate::count_config::MAX_POPULATION;
+        let over = MAX_POPULATION / 2 + 1;
+        let p = OneWayEpidemic::new((2 * over) as usize, over as usize);
+        let counts = CountConfiguration::from_counts(vec![over, over]);
+        let err = MultiBatchSimulation::try_new(p, counts, 0).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::UnsupportedPopulation {
+                population: 2 * over,
+                limit: MAX_POPULATION,
+            }
+        );
     }
 
     #[test]

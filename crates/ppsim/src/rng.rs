@@ -54,6 +54,31 @@ pub fn uniform_below(rng: &mut dyn RngCore, bound: u64) -> u64 {
     }
 }
 
+/// Samples a value uniformly at random from `[0, bound)` for bounds beyond
+/// `u64`, using unbiased rejection sampling over 128-bit draws.
+///
+/// For any `bound` that fits a `u64` this delegates to [`uniform_below`] and
+/// consumes **exactly the same RNG draws** — widening a caller's bound type
+/// from `u64` to `u128` therefore never perturbs an existing trajectory
+/// unless the bound actually exceeds `u64::MAX` (which requires a population
+/// past `2³²`, where no pinned trajectory exists).
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn uniform_below_u128(rng: &mut dyn RngCore, bound: u128) -> u128 {
+    if let Ok(bound) = u64::try_from(bound) {
+        return u128::from(uniform_below(rng, bound));
+    }
+    let zone = u128::MAX - (u128::MAX % bound);
+    loop {
+        let x = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        if x < zone {
+            return x % bound;
+        }
+    }
+}
+
 /// Derives an independent seed for a sub-experiment (e.g. trial `index` of the
 /// experiment seeded with `base`).
 ///
@@ -144,6 +169,47 @@ mod tests {
     fn uniform_below_zero_panics() {
         let mut rng = SimRng::seed_from_u64(0);
         let _ = uniform_below(&mut rng, 0);
+    }
+
+    /// The u128 variant must consume the identical draw sequence as the u64
+    /// variant for every bound that fits a u64 — this is what keeps the
+    /// pinned fixed-seed trajectory snapshots byte-identical after the
+    /// engines widened their weight arithmetic.
+    #[test]
+    fn uniform_below_u128_matches_the_u64_stream_for_small_bounds() {
+        for bound in [1u64, 7, 1 << 40, u64::MAX] {
+            let mut a = SimRng::seed_from_u64(13);
+            let mut b = SimRng::seed_from_u64(13);
+            for _ in 0..32 {
+                assert_eq!(
+                    u128::from(uniform_below(&mut a, bound)),
+                    uniform_below_u128(&mut b, u128::from(bound)),
+                );
+            }
+            // Both generators are at the same stream position afterwards.
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_below_u128_stays_in_range_beyond_u64() {
+        let mut rng = SimRng::seed_from_u64(17);
+        for bound in [
+            u128::from(u64::MAX) + 1,
+            1u128 << 90,
+            (1u128 << 124) + 12345,
+        ] {
+            for _ in 0..50 {
+                assert!(uniform_below_u128(&mut rng, bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn uniform_below_u128_zero_panics() {
+        let mut rng = SimRng::seed_from_u64(0);
+        let _ = uniform_below_u128(&mut rng, 0);
     }
 
     #[test]
