@@ -52,6 +52,11 @@ impl CleanInit for CaiIzumiWada {
     fn clean_state(&self, _agent: AgentId) -> u32 {
         1
     }
+
+    fn clean_runs(&self) -> Box<dyn Iterator<Item = (u32, u64)> + '_> {
+        // Uniform clean start: a single run for the whole population.
+        Box::new(std::iter::once((1, self.population_size() as u64)))
+    }
 }
 
 impl LeaderOutput for CaiIzumiWada {

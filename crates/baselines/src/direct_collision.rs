@@ -51,6 +51,11 @@ impl CleanInit for DirectCollisionSsle {
     fn clean_state(&self, _agent: AgentId) -> u32 {
         1
     }
+
+    fn clean_runs(&self) -> Box<dyn Iterator<Item = (u32, u64)> + '_> {
+        // Uniform clean start: a single run for the whole population.
+        Box::new(std::iter::once((1, self.population_size() as u64)))
+    }
 }
 
 /// State index `r - 1` for rank `r`: the state space is exactly the rank

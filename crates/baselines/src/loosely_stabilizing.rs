@@ -143,6 +143,17 @@ impl CleanInit for LooselyStabilizingLe {
             timer: 0,
         }
     }
+
+    fn clean_runs(&self) -> Box<dyn Iterator<Item = (LooseState, u64)> + '_> {
+        // Uniform clean start: a single run for the whole population.
+        Box::new(std::iter::once((
+            LooseState {
+                leader: false,
+                timer: 0,
+            },
+            self.population_size() as u64,
+        )))
+    }
 }
 
 impl LeaderOutput for LooselyStabilizingLe {

@@ -81,6 +81,17 @@ impl CleanInit for MinIdLeaderElection {
             min_seen: u64::MAX,
         }
     }
+
+    fn clean_runs(&self) -> Box<dyn Iterator<Item = (MinIdState, u64)> + '_> {
+        // Uniform clean start: a single run for the whole population.
+        Box::new(std::iter::once((
+            MinIdState {
+                identifier: None,
+                min_seen: u64::MAX,
+            },
+            self.population_size() as u64,
+        )))
+    }
 }
 
 impl LeaderOutput for MinIdLeaderElection {

@@ -12,6 +12,8 @@
 //! `--csv <dir>` every table is additionally written as a CSV file and as a
 //! JSON document into the given directory.
 
+#![forbid(unsafe_code)]
+
 use analysis::{experiments, Scale, Table};
 use std::path::PathBuf;
 use std::time::Instant;

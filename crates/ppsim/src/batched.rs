@@ -352,6 +352,7 @@ impl PairIndex {
     fn remove_state(&mut self, s: usize) {
         let pos = self.occupied_pos[s];
         debug_assert_ne!(pos, usize::MAX);
+        // lint:allow(panic): occupied_pos[s] != MAX (asserted above) implies a live entry
         let last = *self.occupied.last().expect("occupied set is non-empty");
         self.occupied.swap_remove(pos);
         if last != s {
@@ -487,6 +488,7 @@ pub(crate) fn sample_support(
             return pair;
         }
     }
+    // lint:allow(panic): callers pass the support of a non-empty population
     support.last().expect("support is non-empty").0
 }
 
@@ -544,6 +546,7 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
     ///
     /// Panics on any input [`Self::try_new`] rejects.
     pub fn new(protocol: P, counts: CountConfiguration, seed: u64) -> Self {
+        // lint:allow(panic): documented panicking wrapper; message pinned by should_panic test
         Self::try_new(protocol, counts, seed).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -666,6 +669,7 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
             0
         } else {
             Geometric::new(p_active)
+                // lint:allow(panic): p_active < 1.0 on this branch and > 0 by construction
                 .expect("probability is in (0, 1)")
                 .sample(&mut self.rng)
         };

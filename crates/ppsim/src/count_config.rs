@@ -14,7 +14,7 @@
 use crate::configuration::Configuration;
 use crate::enumerable::EnumerableProtocol;
 use crate::error::SimError;
-use crate::protocol::{AgentId, CleanInit};
+use crate::protocol::CleanInit;
 use rand::distributions::{Binomial, Distribution};
 use rand::RngCore;
 use serde::Serialize;
@@ -110,14 +110,24 @@ impl CountConfiguration {
         let n = protocol.population_size();
         assert!(n > 0, "a population must have at least one agent");
         let mut counts = Vec::new();
-        for agent in 0..n {
-            let state = protocol.clean_state(AgentId::new(agent));
+        let mut total = 0u64;
+        // Runs arrive in agent order (the `clean_runs` contract), so states
+        // are encoded — and, for discovered protocols, *interned* — in the
+        // same order as the per-agent path, keeping state indices and
+        // trajectories bit-identical while doing one encode per run instead
+        // of one per agent.
+        for (state, count) in protocol.clean_runs() {
             let index = protocol.encode(&state);
             if index >= counts.len() {
                 counts.resize(index + 1, 0u64);
             }
-            counts[index] += 1;
+            counts[index] += count;
+            total += count;
         }
+        assert_eq!(
+            total, n as u64,
+            "clean_runs counts must sum to the population size"
+        );
         let q = protocol.num_states();
         assert!(
             counts.len() <= q,
@@ -169,6 +179,7 @@ impl CountConfiguration {
                 *slot = remaining;
             } else {
                 let draw = Binomial::new(remaining, 1.0 / states_left)
+                    // lint:allow(panic): states_left >= 1 here, so 1/states_left is in (0, 1]
                     .expect("probability is in (0, 1]")
                     .sample(rng);
                 *slot = draw;

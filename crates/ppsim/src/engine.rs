@@ -720,6 +720,7 @@ impl<P: EnumerableProtocol> AdaptiveSimulation<P> {
         seed: u64,
         config: AdaptiveConfig,
     ) -> Self {
+        // lint:allow(panic): documented panicking wrapper; message pinned by should_panic test
         Self::try_with_config(protocol, counts, seed, config).unwrap_or_else(|e| panic!("{e}"))
     }
 

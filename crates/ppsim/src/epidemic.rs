@@ -63,6 +63,16 @@ impl CleanInit for OneWayEpidemic {
     fn clean_state(&self, agent: AgentId) -> bool {
         agent.index() < self.sources
     }
+
+    fn clean_runs(&self) -> Box<dyn Iterator<Item = (bool, u64)> + '_> {
+        // Sources first, then the uninformed tail — same agent order as
+        // `clean_state`.
+        let runs = [
+            (true, self.sources as u64),
+            (false, (self.n - self.sources) as u64),
+        ];
+        Box::new(runs.into_iter().filter(|&(_, count)| count > 0))
+    }
 }
 
 impl EnumerableProtocol for OneWayEpidemic {
@@ -130,6 +140,14 @@ impl Protocol for TwoWayEpidemic {
 impl CleanInit for TwoWayEpidemic {
     fn clean_state(&self, agent: AgentId) -> bool {
         agent.index() < self.sources
+    }
+
+    fn clean_runs(&self) -> Box<dyn Iterator<Item = (bool, u64)> + '_> {
+        let runs = [
+            (true, self.sources as u64),
+            (false, (self.n - self.sources) as u64),
+        ];
+        Box::new(runs.into_iter().filter(|&(_, count)| count > 0))
     }
 }
 
@@ -246,6 +264,32 @@ pub fn epidemic_constant(interactions: u64, n: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::{AgentId, CleanInit};
+
+    /// The collapsed `clean_runs` override must replay `clean_state`'s
+    /// agent order exactly: sources first, then the uninformed tail, with
+    /// counts summing to `n` — including the degenerate all-sources case
+    /// whose empty tail run is dropped.
+    #[test]
+    fn clean_runs_collapse_matches_per_agent_states() {
+        for (n, sources) in [(10, 1), (10, 4), (5, 5)] {
+            let p = OneWayEpidemic::new(n, sources);
+            let mut agent = 0usize;
+            let mut total = 0u64;
+            for (state, count) in p.clean_runs() {
+                for _ in 0..count {
+                    assert_eq!(state, p.clean_state(AgentId::new(agent)), "agent {agent}");
+                    agent += 1;
+                }
+                total += count;
+            }
+            assert_eq!(total, n as u64, "n={n} sources={sources}");
+
+            let q = TwoWayEpidemic::new(n, sources);
+            let runs: Vec<_> = q.clean_runs().collect();
+            assert_eq!(runs, p.clean_runs().collect::<Vec<_>>());
+        }
+    }
 
     #[test]
     fn one_way_epidemic_completes_in_reasonable_time() {

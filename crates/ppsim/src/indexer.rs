@@ -299,6 +299,14 @@ where
     fn clean_state(&self, agent: crate::protocol::AgentId) -> Self::State {
         self.inner.clean_state(agent)
     }
+
+    fn clean_runs(&self) -> Box<dyn Iterator<Item = (Self::State, u64)> + '_> {
+        // Delegating preserves the inner protocol's run collapsing: a
+        // uniform clean start interns its state once, not once per agent —
+        // the difference between O(1) and 10⁸ hash probes before the first
+        // interaction at n = 10⁸.
+        self.inner.clean_runs()
+    }
 }
 
 impl<P: SupportEnumerable> Protocol for DiscoveredProtocol<P>
@@ -424,6 +432,13 @@ mod tests {
     impl CleanInit for Spread {
         fn clean_state(&self, agent: AgentId) -> bool {
             agent.index() == 0
+        }
+
+        fn clean_runs(&self) -> Box<dyn Iterator<Item = (bool, u64)> + '_> {
+            // Collapsed runs in the same agent order as `clean_state`, so
+            // the flat-vs-per-agent test below exercises the collapsed
+            // interning path.
+            Box::new([(true, 1), (false, self.0 as u64 - 1)].into_iter())
         }
     }
 

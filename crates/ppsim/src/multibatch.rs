@@ -216,6 +216,7 @@ impl<P: EnumerableProtocol> MultiBatchSimulation<P> {
     ///
     /// Panics on any input [`Self::try_new`] rejects.
     pub fn new(protocol: P, counts: CountConfiguration, seed: u64) -> Self {
+        // lint:allow(panic): documented panicking wrapper; message pinned by should_panic test
         Self::try_new(protocol, counts, seed).unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -135,6 +135,30 @@ pub trait CleanInit: Protocol {
     /// The clean initial state for the agent occupying population slot
     /// `agent`.
     fn clean_state(&self, agent: AgentId) -> Self::State;
+
+    /// The clean configuration as maximal runs of equal states in agent
+    /// order: `(state, count)` pairs whose counts sum to the population
+    /// size, with agents `0..count₀` in the first run's state, the next
+    /// `count₁` in the second, and so on.
+    ///
+    /// Count-based construction ([`CountConfiguration::from_clean_init`])
+    /// encodes each run's state once instead of once per agent, which for
+    /// discovered/interned protocols removes `n` hash probes from startup.
+    /// The default streams one `(state, 1)` run per agent — always correct,
+    /// never collapsed, because `Protocol::State` is not required to be
+    /// comparable. Protocols whose clean configuration has few distinct
+    /// states (usually every protocol: all-dormant, or k sources + rest
+    /// uninformed) should override this with the collapsed run list. The
+    /// run order must match `clean_state`'s agent order so that state
+    /// *discovery/interning order* — and therefore every downstream state
+    /// index and trajectory — is unchanged.
+    ///
+    /// [`CountConfiguration::from_clean_init`]: crate::CountConfiguration::from_clean_init
+    fn clean_runs(&self) -> Box<dyn Iterator<Item = (Self::State, u64)> + '_> {
+        Box::new(
+            (0..self.population_size()).map(|agent| (self.clean_state(AgentId::new(agent)), 1)),
+        )
+    }
 }
 
 /// Protocols that mark agents as leaders.

@@ -40,6 +40,7 @@ impl Summary {
             "cannot summarize non-finite values"
         );
         let mut sorted: Vec<f64> = values.to_vec();
+        // lint:allow(panic): all values asserted finite above, so partial_cmp is total
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;

@@ -322,7 +322,7 @@ mod tests {
         assert!(has_duplicate_committed_ranks(&config));
         assert!(!is_correct_output(&config));
         // Exactly 3 agents share ranks with the tail agents.
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for s in config.iter() {
             *counts.entry(s.verified_rank().unwrap()).or_insert(0usize) += 1;
         }

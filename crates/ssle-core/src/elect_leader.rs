@@ -249,6 +249,16 @@ impl CleanInit for ElectLeader {
     fn clean_state(&self, _agent: AgentId) -> AgentState {
         AgentState::fresh_ranker(&self.params)
     }
+
+    fn clean_runs(&self) -> Box<dyn Iterator<Item = (AgentState, u64)> + '_> {
+        // Uniform clean start: one run covers the whole population, so
+        // count-based construction encodes (and, when discovered, interns)
+        // the fresh-ranker state exactly once instead of once per agent.
+        Box::new(std::iter::once((
+            AgentState::fresh_ranker(&self.params),
+            self.population_size() as u64,
+        )))
+    }
 }
 
 impl LeaderOutput for ElectLeader {
@@ -277,6 +287,31 @@ mod tests {
     fn constructor_validates_parameters() {
         assert!(ElectLeader::with_n_r(16, 4).is_ok());
         assert!(ElectLeader::with_n_r(16, 9).is_err());
+    }
+
+    /// The uniform `clean_runs` override is the ElectLeader_r startup
+    /// hotspot fix: through the dynamic indexer, count-based construction
+    /// must intern exactly one state (the fresh ranker) — not one per agent
+    /// — while producing the same counts and interning order as the
+    /// historical per-agent path.
+    #[test]
+    fn clean_runs_collapses_to_one_interned_state() {
+        use ppsim::{CountConfiguration, DiscoveredProtocol, EnumerableProtocol};
+
+        let p = ElectLeader::with_n_r(16, 4).unwrap();
+        let runs: Vec<_> = ppsim::CleanInit::clean_runs(&p).collect();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].1, 16);
+
+        let flat = DiscoveredProtocol::new(ElectLeader::with_n_r(16, 4).unwrap());
+        let flat_counts = CountConfiguration::from_clean_init(&flat);
+        // One encode for the single run, hence exactly one interned state.
+        assert_eq!(flat.num_states(), 1);
+
+        let per_agent = DiscoveredProtocol::new(ElectLeader::with_n_r(16, 4).unwrap());
+        let config = Configuration::clean(&per_agent);
+        let per_agent_counts = CountConfiguration::from_configuration(&per_agent, &config);
+        assert_eq!(flat_counts, per_agent_counts);
     }
 
     #[test]

@@ -449,8 +449,8 @@ mod tests {
         let (u_state, v_state) = (u.active_mut().unwrap(), v.active_mut().unwrap());
         balance_load(u_state, v_state, m);
         for governor in 0..m {
-            let mut counts: std::collections::HashMap<u64, (usize, usize)> =
-                std::collections::HashMap::new();
+            let mut counts: std::collections::BTreeMap<u64, (usize, usize)> =
+                std::collections::BTreeMap::new();
             for msg in u_state.msgs.messages_for(governor) {
                 counts.entry(msg.content).or_default().0 += 1;
             }

@@ -118,8 +118,8 @@ proptest! {
             prop_assert_eq!(&actual, &expected);
             // Balance: per (governor, content) class the counts differ by ≤ 1.
             for governor in 0..m {
-                let mut per_content: std::collections::HashMap<u64, (i64, i64)> =
-                    std::collections::HashMap::new();
+                let mut per_content: std::collections::BTreeMap<u64, (i64, i64)> =
+                    std::collections::BTreeMap::new();
                 for msg in u.msgs.messages_for(governor) {
                     per_content.entry(msg.content).or_default().0 += 1;
                 }

@@ -1,0 +1,424 @@
+//! A minimal Rust lexer: comments and string/char literals are stripped, the
+//! rest of the source becomes a flat token stream with line numbers.
+//!
+//! This is deliberately *not* a parser. The lint rules
+//! ([`crate::rules`]) match small token patterns (`EngineKind :: Auto =>`,
+//! `name . iter (`, `Ordering :: Relaxed`), which a token stream supports
+//! exactly as well as an AST — and a hand-rolled lexer keeps the analyzer
+//! dependency-free, which the offline-vendor discipline of this workspace
+//! requires (no `syn`, no crates.io).
+//!
+//! Two side channels are extracted while lexing:
+//!
+//! * **Waivers** — line comments of the form
+//!   `// lint:allow(<rule>): <why>` suppress findings of `<rule>` on the
+//!   same line or the line directly below. A waiver without a non-empty
+//!   `<why>` is itself reported as a finding (rule `waiver`), so every
+//!   suppression in the tree carries its justification.
+//! * **Doc text is dropped** — doc comments (and therefore doctest code)
+//!   are comments to the lexer, so rules never fire on examples.
+
+/// One token: its text and the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text (identifier, number, or punctuation; `::` and `=>`
+    /// are kept as single tokens because rules match on them).
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// An inline suppression comment: `// lint:allow(<rule>): <why>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line the comment sits on. The waiver covers findings on this
+    /// line and the next.
+    pub line: u32,
+    /// The rule identifier inside `lint:allow(..)`.
+    pub rule: String,
+    /// The mandatory justification after the closing `):`.
+    pub reason: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The comment- and literal-stripped token stream.
+    pub tokens: Vec<Token>,
+    /// Well-formed waiver comments.
+    pub waivers: Vec<Waiver>,
+    /// Lines holding a `lint:allow` comment that is missing its rule or its
+    /// reason string, with a description of what is wrong.
+    pub malformed_waivers: Vec<(u32, String)>,
+}
+
+/// Marker every waiver comment must contain.
+const WAIVER_PREFIX: &str = "lint:allow(";
+
+/// Lexes `source`, stripping comments and literals.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = line_end(bytes, i);
+                // Doc comments (`///`, `//!`) are documentation — text that
+                // merely *describes* the waiver syntax must not register as
+                // a waiver. Only plain `//` comments carry waivers.
+                let doc = matches!(bytes.get(i + 2), Some(&b'/') | Some(&b'!'));
+                if !doc {
+                    parse_waiver(&source[i..end], line, &mut out);
+                }
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i = skip_block_comment(bytes, i, &mut line);
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut line);
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                i = skip_raw_or_byte_string(bytes, i, &mut line);
+            }
+            b'\'' => {
+                i = skip_char_or_lifetime(bytes, i, line, &mut out);
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                // Numbers (including suffixes like `0u64`, floats, hex).
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    // Avoid swallowing `..` range punctuation after a number.
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                // Punctuation. Keep `::` and `=>` as single tokens; rules
+                // match on both.
+                let two = bytes.get(i + 1).map(|&n| [c, n]);
+                let text = match two {
+                    Some([b':', b':']) => "::",
+                    Some([b'=', b'>']) => "=>",
+                    _ => {
+                        out.tokens.push(Token {
+                            text: (c as char).to_string(),
+                            line,
+                        });
+                        i += 1;
+                        continue;
+                    }
+                };
+                out.tokens.push(Token {
+                    text: text.to_string(),
+                    line,
+                });
+                i += 2;
+            }
+        }
+    }
+    out
+}
+
+/// Byte index just past the current line (exclusive of the newline).
+fn line_end(bytes: &[u8], from: usize) -> usize {
+    bytes[from..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|p| from + p)
+        .unwrap_or(bytes.len())
+}
+
+/// Parses a `// lint:allow(<rule>): <why>` comment, if present.
+fn parse_waiver(comment: &str, line: u32, out: &mut Lexed) {
+    let Some(start) = comment.find(WAIVER_PREFIX) else {
+        return;
+    };
+    let rest = &comment[start + WAIVER_PREFIX.len()..];
+    let Some(close) = rest.find(')') else {
+        out.malformed_waivers
+            .push((line, "waiver is missing the closing `)`".to_string()));
+        return;
+    };
+    let rule = rest[..close].trim().to_string();
+    let after = &rest[close + 1..];
+    let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    if rule.is_empty() {
+        out.malformed_waivers
+            .push((line, "waiver names no rule".to_string()));
+    } else if reason.is_empty() {
+        out.malformed_waivers.push((
+            line,
+            format!("waiver for `{rule}` carries no reason (`// lint:allow({rule}): <why>`)"),
+        ));
+    } else {
+        out.waivers.push(Waiver {
+            line,
+            rule,
+            reason: reason.to_string(),
+        });
+    }
+}
+
+/// Skips a (possibly nested) `/* .. */` comment.
+fn skip_block_comment(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            depth += 1;
+            i += 2;
+        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                break;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips a regular `"..."` string literal (with escapes).
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether position `i` starts a raw string (`r"`, `r#"`), byte string
+/// (`b"`), or raw byte string (`br#"`).
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    j > i && bytes.get(j) == Some(&b'"')
+}
+
+/// Skips a raw/byte string literal starting at `i`.
+fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    let raw = bytes.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+        while bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if !raw => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                let mut closing = 0usize;
+                while closing < hashes && bytes.get(j) == Some(&b'#') {
+                    closing += 1;
+                    j += 1;
+                }
+                if closing == hashes {
+                    return j;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Distinguishes a char literal (`'a'`, `'\n'`) from a lifetime (`'a`) and
+/// skips/emits accordingly.
+fn skip_char_or_lifetime(bytes: &[u8], i: usize, line: u32, out: &mut Lexed) -> usize {
+    let next = bytes.get(i + 1).copied();
+    let after = bytes.get(i + 2).copied();
+    let is_lifetime =
+        matches!(next, Some(c) if c.is_ascii_alphabetic() || c == b'_') && after != Some(b'\'');
+    if is_lifetime {
+        let mut j = i + 1;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        out.tokens.push(Token {
+            text: "'lifetime".to_string(),
+            line,
+        });
+        return j;
+    }
+    // Char literal: skip to the closing quote, honoring escapes.
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_waivers() {
+        let src = "/// Waive with `// lint:allow(panic): why`.\n\
+                   //! Or `// lint:allow(rng): why`.\n\
+                   // lint:allow(determinism): a real waiver\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.waivers.len(), 1);
+        assert_eq!(lexed.waivers[0].rule, "determinism");
+        assert_eq!(lexed.waivers[0].line, 3);
+        assert!(lexed.malformed_waivers.is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r##"
+            // a HashMap in a comment
+            /* block /* nested */ HashSet */
+            let s = "HashMap::iter()"; // trailing
+            let r = r#"Instant::now()"#;
+            let c = 'x';
+            let esc = '\'';
+        "##;
+        let t = texts(src);
+        assert!(!t.iter().any(|x| x.contains("HashMap")));
+        assert!(!t.iter().any(|x| x.contains("Instant")));
+        assert!(t.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = texts("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(t.contains(&"str".to_string()));
+        assert_eq!(t.iter().filter(|x| x.as_str() == "'lifetime").count(), 3);
+    }
+
+    #[test]
+    fn multi_char_operators_survive() {
+        let t = texts("EngineKind::Auto => 1, a ::b, x => y");
+        assert_eq!(
+            t,
+            [
+                "EngineKind",
+                "::",
+                "Auto",
+                "=>",
+                "1",
+                ",",
+                "a",
+                "::",
+                "b",
+                ",",
+                "x",
+                "=>",
+                "y"
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb\n/* c\nc */ d";
+        let lexed = lex(src);
+        let a = lexed.tokens.iter().find(|t| t.text == "a").unwrap();
+        let b = lexed.tokens.iter().find(|t| t.text == "b").unwrap();
+        let d = lexed.tokens.iter().find(|t| t.text == "d").unwrap();
+        assert_eq!((a.line, b.line, d.line), (1, 4, 6));
+    }
+
+    #[test]
+    fn waivers_require_rule_and_reason() {
+        let lexed = lex("x // lint:allow(panic): constructor contract\n");
+        assert_eq!(lexed.waivers.len(), 1);
+        assert_eq!(lexed.waivers[0].rule, "panic");
+        assert_eq!(lexed.waivers[0].reason, "constructor contract");
+        assert!(lexed.malformed_waivers.is_empty());
+
+        let missing_reason = lex("x // lint:allow(panic)\n");
+        assert!(missing_reason.waivers.is_empty());
+        assert_eq!(missing_reason.malformed_waivers.len(), 1);
+
+        let missing_rule = lex("x // lint:allow(): because\n");
+        assert!(missing_rule.waivers.is_empty());
+        assert_eq!(missing_rule.malformed_waivers.len(), 1);
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_stripped() {
+        let t = texts(r###"let x = br#"panic!("inner")"#; let y = b"unsafe";"###);
+        assert!(!t.iter().any(|x| x.contains("panic")));
+        assert!(!t.iter().any(|x| x.contains("unsafe")));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let t = texts("for i in 0..10u64 { }");
+        assert!(t.contains(&"0".to_string()));
+        assert!(t.contains(&"10u64".to_string()));
+    }
+}

@@ -1,0 +1,168 @@
+//! ssle-lint: workspace-native static analysis for the ssle workspace.
+//!
+//! Run it as `cargo run -p xtask -- lint`. The analyzer is a hand-rolled
+//! lexer pass (no AST crates — the build environment is offline, see
+//! `vendor/README.md`) enforcing the workspace's determinism, panic,
+//! engine-dispatch, unsafe, and RNG-stream contracts. See the "Static
+//! analysis" section of the top-level README for the rules and the waiver
+//! syntax.
+//!
+//! A finding is suppressed by an inline waiver on the same or preceding
+//! line:
+//!
+//! ```text
+//! // lint:allow(<rule>): <reason>
+//! ```
+//!
+//! The reason is mandatory; malformed, unknown-rule, and unused waivers are
+//! findings themselves (rule `waiver`) and cannot be waived.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+use std::fs;
+use std::path::Path;
+
+use rules::{is_known_rule, Finding, RULES};
+use source::SourceFile;
+
+/// The result of linting a tree.
+pub struct Report {
+    /// Surviving (unwaived) findings, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints every Rust source file under `root`'s source trees and returns the
+/// unwaived findings.
+pub fn run_lint(root: &Path) -> Report {
+    let files = walk::collect_rust_files(root);
+    let files_scanned = files.len();
+    let mut findings = Vec::new();
+    for (rel, path) in files {
+        let Ok(text) = fs::read_to_string(&path) else {
+            // Non-UTF-8 or unreadable source would fail `cargo build` long
+            // before it reaches the linter; skip silently.
+            continue;
+        };
+        let file = SourceFile::new(&rel, &text);
+        findings.extend(lint_file(&file));
+    }
+    findings.sort_by(|a, b| (&a.rel, a.line, a.rule).cmp(&(&b.rel, b.line, b.rule)));
+    Report {
+        findings,
+        files_scanned,
+    }
+}
+
+/// Runs every rule over one file and applies its waivers.
+fn lint_file(file: &SourceFile) -> Vec<Finding> {
+    let mut raw = Vec::new();
+    for &(_, rule) in RULES {
+        rule(file, &mut raw);
+    }
+
+    let mut out = Vec::new();
+    let mut used = vec![false; file.waivers.len()];
+    for finding in raw {
+        // A waiver covers findings of its rule on its own line (trailing
+        // comment) and the line directly below it (comment-above style).
+        let waived = file.waivers.iter().enumerate().find(|(_, w)| {
+            w.rule == finding.rule && (finding.line == w.line || finding.line == w.line + 1)
+        });
+        match waived {
+            Some((idx, _)) => used[idx] = true,
+            None => out.push(finding),
+        }
+    }
+
+    for (w, used) in file.waivers.iter().zip(&used) {
+        if !is_known_rule(&w.rule) {
+            out.push(Finding {
+                rule: "waiver",
+                rel: file.rel.clone(),
+                line: w.line,
+                message: format!("waiver names unknown rule `{}`", w.rule),
+            });
+        } else if !used {
+            out.push(Finding {
+                rule: "waiver",
+                rel: file.rel.clone(),
+                line: w.line,
+                message: format!(
+                    "unused waiver for rule `{}`: nothing to suppress here — remove it",
+                    w.rule
+                ),
+            });
+        }
+    }
+    for (line, desc) in &file.malformed_waivers {
+        out.push(Finding {
+            rule: "waiver",
+            rel: file.rel.clone(),
+            line: *line,
+            message: format!("malformed waiver: {desc}"),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_src(rel: &str, src: &str) -> Vec<Finding> {
+        lint_file(&SourceFile::new(rel, src))
+    }
+
+    #[test]
+    fn waiver_on_same_or_previous_line_suppresses() {
+        let trailing =
+            "fn f() { x.unwrap(); } // lint:allow(panic): invariant holds by construction\n";
+        assert!(lint_src("crates/ppsim/src/engine.rs", trailing).is_empty());
+        let above = "// lint:allow(panic): invariant holds by construction\n\
+                     fn f() { x.unwrap(); }\n";
+        assert!(lint_src("crates/ppsim/src/engine.rs", above).is_empty());
+    }
+
+    #[test]
+    fn waiver_for_the_wrong_rule_does_not_suppress() {
+        let src = "// lint:allow(determinism): not the right rule\n\
+                   fn f() { x.unwrap(); }\n";
+        let f = lint_src("crates/ppsim/src/engine.rs", src);
+        // The panic finding survives AND the waiver is reported unused.
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|f| f.rule == "panic"));
+        assert!(f.iter().any(|f| f.rule == "waiver"));
+    }
+
+    #[test]
+    fn unknown_rule_and_malformed_waivers_are_findings() {
+        let src = "fn ok() {} // lint:allow(speed): gotta go fast\n\
+                   fn also_ok() {} // lint:allow(panic)\n";
+        let f = lint_src("crates/ppsim/src/engine.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "waiver"));
+        assert!(f.iter().any(|f| f.message.contains("unknown rule")));
+        assert!(f.iter().any(|f| f.message.contains("malformed")));
+    }
+
+    #[test]
+    fn clean_file_stays_clean() {
+        let src = "#![forbid(unsafe_code)]\n//! Root.\npub fn f(x: u64) -> u64 { x + 1 }\n";
+        assert!(lint_src("crates/ppsim/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! CLI for the workspace linter: `cargo run -p xtask -- lint [--root PATH]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // lint:allow(determinism): CLI argument parsing in the linter binary itself
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("usage: cargo run -p xtask -- lint [--root PATH]");
+        return ExitCode::from(2);
+    };
+    if cmd != "lint" {
+        eprintln!("unknown command `{cmd}`; the only command is `lint`");
+        return ExitCode::from(2);
+    }
+
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default to the workspace root: cargo sets CARGO_MANIFEST_DIR to
+    // crates/xtask, two levels below it.
+    let root = root.unwrap_or_else(|| {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or(manifest)
+    });
+
+    let report = xtask::run_lint(&root);
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.rel, f.line, f.rule, f.message);
+    }
+    if report.is_clean() {
+        println!("ssle-lint: clean ({} files scanned)", report.files_scanned);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "ssle-lint: {} finding(s) across {} files scanned",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,89 @@
+//! Rule `dispatch`: the engine-dispatch invariant.
+//!
+//! `ppsim::engine` owns tier selection: `EngineKind` is matched (and
+//! destructured) only inside `crates/ppsim/src/engine.rs`. Everywhere else,
+//! code must go through `SimBuilder` / `SimulationEngine` so that adding a
+//! tier or changing the auto-switch policy stays a one-file change. Using
+//! `EngineKind` as a *value* (passing it, comparing it, storing it) is fine;
+//! dispatching on it is not.
+//!
+//! Detection: an `EngineKind::Variant` path whose following token places it
+//! in pattern position — `=>` (match arm), `|` (or-pattern), `if` (match
+//! guard), or `=` (`if let`/`let` destructuring).
+
+use super::{text_at, Finding};
+use crate::source::SourceFile;
+
+/// The single file allowed to dispatch on `EngineKind`.
+const OWNER: &str = "crates/ppsim/src/engine.rs";
+
+/// Follower tokens that place a path in pattern position.
+const PATTERN_FOLLOWERS: &[&str] = &["=>", "|", "if", "="];
+
+/// Runs this rule over `file`, appending findings.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.rel == OWNER {
+        return;
+    }
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.text != "EngineKind" || text_at(tokens, i + 1) != "::" {
+            continue;
+        }
+        let follower = text_at(tokens, i + 3);
+        // `==`/`!=` lex as two tokens, so `EngineKind::X == y` shows a `=`
+        // follower; only a *single* `=` is destructuring.
+        let comparison = follower == "=" && text_at(tokens, i + 4) == "=";
+        if PATTERN_FOLLOWERS.contains(&follower) && !comparison {
+            findings.push(Finding {
+                rule: "dispatch",
+                rel: file.rel.clone(),
+                line: t.line,
+                message: format!(
+                    "`EngineKind::{}` used in pattern position: engine dispatch is \
+                     confined to {OWNER}; go through SimBuilder/SimulationEngine instead",
+                    text_at(tokens, i + 2),
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn lint(rel: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check(&SourceFile::new(rel, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn match_arms_outside_engine_rs_are_flagged() {
+        let src = "fn f(k: EngineKind) -> u32 {\n  match k {\n    EngineKind::PerStep => 0,\n    \
+                   EngineKind::Batched | EngineKind::MultiBatch => 1,\n    _ => 2,\n  }\n}\n";
+        let f = lint("crates/analysis/src/scale.rs", src);
+        assert_eq!(f.len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn if_let_destructuring_is_flagged() {
+        let src =
+            "fn f(k: EngineKind) -> bool {\n  if let EngineKind::Auto = k { return true; }\n  \
+                   false\n}\n";
+        assert_eq!(lint("src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn value_uses_and_the_owner_file_are_clean() {
+        let src = "fn f() {\n  let k = EngineKind::Batched;\n  run(EngineKind::Auto);\n  \
+                   let same = k == EngineKind::PerStep;\n  let yoda = EngineKind::PerStep == k;\n  \
+                   for e in [EngineKind::PerStep, EngineKind::Batched] { go(e); }\n}\n";
+        assert!(lint("crates/analysis/src/scale.rs", src).is_empty());
+        let dispatch = "fn f(k: EngineKind) {\n  match k {\n    EngineKind::PerStep => {}\n    \
+                        _ => {}\n  }\n}\n";
+        assert!(lint("crates/ppsim/src/engine.rs", dispatch).is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! The rule registry and the shared matching helpers.
+//!
+//! Each rule is a plain function over a [`SourceFile`]; the registry maps the
+//! rule name (as used in `lint:allow(<rule>)` waivers) to its check. Waiver
+//! application itself lives in the crate root so rules stay oblivious to
+//! suppression.
+
+pub mod determinism;
+pub mod dispatch;
+pub mod panics;
+pub mod rng_stream;
+pub mod unsafe_audit;
+
+use crate::lexer::Token;
+use crate::source::SourceFile;
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (`determinism`, `panic`, `dispatch`, `unsafe`, `rng`, or the
+    /// reserved `waiver` for problems with waiver comments themselves).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub rel: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A rule: a pure function from a prepared source file to findings.
+pub type RuleFn = fn(&SourceFile, &mut Vec<Finding>);
+
+/// Every waivable rule. The `waiver` meta-rule is not listed: findings about
+/// waivers cannot themselves be waived.
+pub const RULES: &[(&str, RuleFn)] = &[
+    ("determinism", determinism::check),
+    ("panic", panics::check),
+    ("dispatch", dispatch::check),
+    ("unsafe", unsafe_audit::check),
+    ("rng", rng_stream::check),
+];
+
+/// Whether `name` is a registered (waivable) rule.
+pub fn is_known_rule(name: &str) -> bool {
+    RULES.iter().any(|&(n, _)| n == name)
+}
+
+/// Whether the token sequence starting at `i` matches `pat` textually.
+pub fn seq_at(tokens: &[Token], i: usize, pat: &[&str]) -> bool {
+    tokens.len() >= i + pat.len()
+        && pat
+            .iter()
+            .enumerate()
+            .all(|(k, p)| tokens[i + k].text == *p)
+}
+
+/// Text of the token at `i`, or `""` past the end.
+pub fn text_at(tokens: &[Token], i: usize) -> &str {
+    tokens.get(i).map_or("", |t| t.text.as_str())
+}

@@ -1,0 +1,70 @@
+//! Rule `rng`: RNG-stream discipline.
+//!
+//! Reproducibility rests on byte-identical RNG streams: a trial's stream is
+//! fully determined by `(master_seed, trial_index)` via
+//! `ppsim::fleet::derive_seed`. Seeding from entropy (`from_entropy`,
+//! `thread_rng`, `OsRng`, `getrandom`) in library code breaks replay and the
+//! thread-matrix determinism CI job. Entropy seeding belongs — if anywhere —
+//! in binaries that immediately *print* the seed they chose; library code
+//! takes seeds as explicit inputs.
+
+use super::Finding;
+use crate::source::SourceFile;
+
+/// Entropy-sourced constructors and generators.
+const ENTROPY_SOURCES: &[&str] = &["from_entropy", "thread_rng", "OsRng", "getrandom"];
+
+/// Runs this rule over `file`, appending findings.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for t in &file.tokens {
+        if !ENTROPY_SOURCES.contains(&t.text.as_str()) || file.is_test_line(t.line) {
+            continue;
+        }
+        // A definition site (`fn from_entropy`) would be the vendored rand
+        // stand-in growing an entropy API — flag that too.
+        findings.push(Finding {
+            rule: "rng",
+            rel: file.rel.clone(),
+            line: t.line,
+            message: format!(
+                "`{}`: nondeterministic seeding in library code; derive per-trial \
+                 seeds from the master seed via ppsim::fleet::derive_seed",
+                t.text
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn lint(rel: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check(&SourceFile::new(rel, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn entropy_seeding_is_flagged() {
+        let src = "fn f() -> ChaCha12Rng {\n  ChaCha12Rng::from_entropy()\n}\n";
+        let f = lint("crates/ppsim/src/fleet.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn explicit_seeding_is_clean() {
+        let src = "fn f(seed: u64, trial: u64) -> ChaCha12Rng {\n  \
+                   ChaCha12Rng::seed_from_u64(derive_seed(seed, trial))\n}\n";
+        assert!(lint("crates/ppsim/src/fleet.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_may_seed_however_it_likes() {
+        let src = "#[test]\nfn t() {\n  let rng = thread_rng();\n}\n";
+        assert!(lint("crates/ppsim/src/fleet.rs", src).is_empty());
+        assert!(lint("crates/ppsim/tests/smoke.rs", "fn f() { thread_rng(); }").is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Rule `unsafe`: the unsafe/concurrency audit.
+//!
+//! Two sub-checks:
+//!
+//! 1. **`#![forbid(unsafe_code)]` at every crate root.** The whole workspace
+//!    — vendored stand-ins included — is safe Rust; `forbid` (not `deny`)
+//!    makes that unoverridable downstream in the crate. A crate root is any
+//!    `src/lib.rs`, `src/main.rs`, or `src/bin/*.rs`.
+//!
+//! 2. **`Ordering::Relaxed` in the vendored rayon.** The chunk-claim and
+//!    install paths in `vendor/rayon` are the only lock-free concurrency in
+//!    the tree; every `Relaxed` there must be justified by a waiver (or
+//!    strengthened). Relaxed claims are correct only where the claimed index
+//!    is itself the synchronization token — that argument belongs next to
+//!    the site, in the waiver reason.
+
+use super::{seq_at, Finding};
+use crate::lexer::Token;
+use crate::source::SourceFile;
+
+/// Crate-relative paths that are crate roots.
+fn is_crate_root(rel: &str) -> bool {
+    rel.ends_with("/src/lib.rs")
+        || rel.ends_with("/src/main.rs")
+        || rel == "src/lib.rs"
+        || rel == "src/main.rs"
+        || (rel.contains("/src/bin/") && rel.ends_with(".rs"))
+}
+
+/// The only tree where `Ordering::Relaxed` is expected at all.
+const RELAXED_SCOPE: &str = "vendor/rayon/";
+
+/// Runs this rule over `file`, appending findings.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if is_crate_root(&file.rel) && !has_forbid_unsafe(&file.tokens) {
+        findings.push(Finding {
+            rule: "unsafe",
+            rel: file.rel.clone(),
+            line: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`: every crate in \
+                      crates/ and vendor/ must forbid unsafe code"
+                .to_string(),
+        });
+    }
+    if file.rel.starts_with(RELAXED_SCOPE) {
+        for (i, t) in file.tokens.iter().enumerate() {
+            if seq_at(&file.tokens, i, &["Ordering", "::", "Relaxed"]) && !file.is_test_line(t.line)
+            {
+                findings.push(Finding {
+                    rule: "unsafe",
+                    rel: file.rel.clone(),
+                    line: t.line,
+                    message: "`Ordering::Relaxed` in vendored rayon: justify why relaxed \
+                              ordering is sound here with a waiver, or strengthen it"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Whether the stream contains the inner attribute `#![forbid(unsafe_code)]`.
+fn has_forbid_unsafe(tokens: &[Token]) -> bool {
+    (0..tokens.len()).any(|i| {
+        seq_at(
+            tokens,
+            i,
+            &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"],
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn lint(rel: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check(&SourceFile::new(rel, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn missing_forbid_on_crate_roots_is_flagged() {
+        assert_eq!(lint("crates/ppsim/src/lib.rs", "pub fn f() {}\n").len(), 1);
+        assert_eq!(
+            lint("crates/bench/src/bin/experiments.rs", "fn main() {}\n").len(),
+            1
+        );
+        assert!(lint(
+            "crates/ppsim/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}\n"
+        )
+        .is_empty());
+        // Non-root modules carry no requirement.
+        assert!(lint("crates/ppsim/src/engine.rs", "pub fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_flagged_only_in_vendored_rayon() {
+        let src = "fn f(a: &AtomicUsize) -> usize {\n  a.fetch_add(1, Ordering::Relaxed)\n}\n\
+                   #![forbid(unsafe_code)]\n";
+        let f = lint("vendor/rayon/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+        assert!(lint("crates/ppsim/src/fleet.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_in_rayon_tests_is_masked() {
+        let src = "#![forbid(unsafe_code)]\n#[cfg(test)]\nmod tests {\n  fn t(a: &AtomicUsize) \
+                   { a.load(Ordering::Relaxed); }\n}\n";
+        assert!(lint("vendor/rayon/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! The per-file analysis model: a lexed token stream plus the *test mask* —
+//! which lines belong to `#[cfg(test)]` modules, `#[test]` functions, or
+//! test-only items — so rules can scope themselves to production code.
+
+use crate::lexer::{lex, Lexed, Token, Waiver};
+
+/// One source file prepared for rule matching.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (e.g.
+    /// `crates/ppsim/src/batched.rs`).
+    pub rel: String,
+    /// The stripped token stream.
+    pub tokens: Vec<Token>,
+    /// Inline waivers found in the file.
+    pub waivers: Vec<Waiver>,
+    /// Malformed `lint:allow` comments (line, description).
+    pub malformed_waivers: Vec<(u32, String)>,
+    /// Whether the whole file is test/bench/example code by its path.
+    whole_file_test: bool,
+    /// Sorted, disjoint line ranges (inclusive) covered by test-gated items.
+    test_ranges: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes `source` under the given workspace-relative path.
+    pub fn new(rel: &str, source: &str) -> Self {
+        let Lexed {
+            tokens,
+            waivers,
+            malformed_waivers,
+        } = lex(source);
+        let whole_file_test = path_is_test_code(rel);
+        let test_ranges = if whole_file_test {
+            Vec::new()
+        } else {
+            test_gated_ranges(&tokens)
+        };
+        SourceFile {
+            rel: rel.to_string(),
+            tokens,
+            waivers,
+            malformed_waivers,
+            whole_file_test,
+            test_ranges,
+        }
+    }
+
+    /// Whether the given 1-based line is test code (inside a `#[cfg(test)]`
+    /// module / `#[test]` function, or in a file that is test code wholesale).
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.whole_file_test
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// Whether the entire file is test/bench/example code by location.
+    pub fn is_test_file(&self) -> bool {
+        self.whole_file_test
+    }
+}
+
+/// Paths whose files are test, bench, or example code wholesale.
+fn path_is_test_code(rel: &str) -> bool {
+    rel.split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples" || seg == "fixtures")
+}
+
+/// Computes the line ranges of items gated behind a test attribute:
+/// `#[test]`, `#[cfg(test)]` (including `#[cfg(all(test, ..))]`), applied to
+/// a module, function, impl, or any other item.
+///
+/// Strategy: find a test attribute, skip any further attributes, then skip
+/// the item header until the first `{` at bracket depth zero (marking
+/// through its matching `}`) or a `;` (single-line item such as
+/// `#[cfg(test)] use ..;`).
+fn test_gated_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_attr_start(tokens, i) {
+            i += 1;
+            continue;
+        }
+        let (attr_tokens, after_attr) = attr_body(tokens, i);
+        if !attr_is_test(&attr_tokens) {
+            i = after_attr;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Skip any stacked attributes following the test attribute.
+        let mut j = after_attr;
+        while is_attr_start(tokens, j) {
+            j = attr_body(tokens, j).1;
+        }
+        // Scan the item header for its body `{` (or a terminating `;`).
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    let end = matching_brace(tokens, j);
+                    ranges.push((start_line, tokens[end.min(tokens.len() - 1)].line));
+                    j = end;
+                    break;
+                }
+                ";" if depth == 0 => {
+                    ranges.push((start_line, tokens[j].line));
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j.max(i + 1);
+    }
+    ranges
+}
+
+/// Whether tokens at `i` start an attribute (`#[` or `#![`).
+fn is_attr_start(tokens: &[Token], i: usize) -> bool {
+    match (tokens.get(i), tokens.get(i + 1)) {
+        (Some(a), Some(b)) if a.text == "#" && b.text == "[" => true,
+        (Some(a), Some(b)) if a.text == "#" && b.text == "!" => {
+            tokens.get(i + 2).is_some_and(|c| c.text == "[")
+        }
+        _ => false,
+    }
+}
+
+/// Returns the attribute's inner tokens and the index just past its `]`.
+fn attr_body(tokens: &[Token], i: usize) -> (Vec<String>, usize) {
+    let mut j = i;
+    while j < tokens.len() && tokens[j].text != "[" {
+        j += 1;
+    }
+    let mut depth = 0i32;
+    let mut inner = Vec::new();
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (inner, j + 1);
+                }
+            }
+            t => inner.push(t.to_string()),
+        }
+        j += 1;
+    }
+    (inner, j)
+}
+
+/// Whether an attribute token list marks test-gated code: `test`, `cfg(test)`
+/// or `cfg(any/all(.. test ..))`. `cfg_attr(test, ..)` does *not* count — it
+/// changes attributes under test, not whether the item exists in production.
+fn attr_is_test(inner: &[String]) -> bool {
+    match inner.first().map(String::as_str) {
+        Some("test") if inner.len() == 1 => true,
+        Some("cfg") => inner.iter().any(|t| t == "test"),
+        _ => false,
+    }
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let src = "fn prod() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn prod2() {}\n";
+        let f = SourceFile::new("crates/ppsim/src/engine.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn test_functions_and_gated_uses_are_masked() {
+        let src = "#[test]\nfn t() {\n  boom();\n}\n#[cfg(test)]\nuse foo::bar;\nfn p() {}\n";
+        let f = SourceFile::new("crates/ppsim/src/engine.rs", src);
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(6));
+        assert!(!f.is_test_line(7));
+    }
+
+    #[test]
+    fn cfg_attr_test_is_not_a_test_gate() {
+        let src = "#[cfg_attr(test, allow(dead_code))]\nfn p() {\n  x();\n}\n";
+        let f = SourceFile::new("crates/ppsim/src/engine.rs", src);
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn tests_dirs_are_test_code_wholesale() {
+        for rel in [
+            "crates/ppsim/tests/large_n_smoke.rs",
+            "tests/integration_batched.rs",
+            "crates/bench/benches/tradeoff_time.rs",
+            "examples/quickstart.rs",
+        ] {
+            let f = SourceFile::new(rel, "fn f() {}");
+            assert!(f.is_test_file(), "{rel}");
+        }
+        assert!(!SourceFile::new("crates/ppsim/src/lib.rs", "").is_test_file());
+    }
+
+    #[test]
+    fn stacked_attributes_extend_the_mask() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn t() {\n  x();\n}\n";
+        let f = SourceFile::new("crates/ppsim/src/engine.rs", src);
+        assert!(f.is_test_line(4));
+    }
+}

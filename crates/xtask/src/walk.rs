@@ -1,0 +1,54 @@
+//! File discovery: every `.rs` file under the workspace's source trees.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Top-level directories scanned relative to the workspace root. `crates/`
+/// and `vendor/` carry the library code; `src/`, `tests/`, and `examples/`
+/// belong to the root `harness` package.
+const ROOTS: &[&str] = &["crates", "vendor", "src", "tests", "examples"];
+
+/// Path segments that are never scanned: build output, and the linter's own
+/// fixture corpus (which contains deliberate violations).
+const SKIPPED_SEGMENTS: &[&str] = &["target", "fixtures"];
+
+/// Collects every Rust source file under `root`'s source trees, returned as
+/// `(workspace-relative path with '/' separators, absolute path)` sorted by
+/// relative path so reports are deterministic.
+pub fn collect_rust_files(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut files = Vec::new();
+    for top in ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            visit(&dir, root, &mut files);
+        }
+    }
+    files.sort();
+    files
+}
+
+fn visit(dir: &Path, root: &Path, files: &mut Vec<(String, PathBuf)>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || SKIPPED_SEGMENTS.contains(&name.as_ref()) {
+            continue;
+        }
+        if path.is_dir() {
+            visit(&path, root, files);
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push((rel, path));
+        }
+    }
+}

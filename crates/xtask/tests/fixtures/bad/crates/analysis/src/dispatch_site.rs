@@ -1,0 +1,10 @@
+//! Known-bad fixture for rule `dispatch`: matching on `EngineKind` outside
+//! `crates/ppsim/src/engine.rs`.
+
+pub fn tier_name(kind: EngineKind) -> &'static str {
+    match kind {
+        EngineKind::PerStep => "per-step",
+        EngineKind::Batched | EngineKind::MultiBatch => "batched",
+        EngineKind::Auto => "auto",
+    }
+}

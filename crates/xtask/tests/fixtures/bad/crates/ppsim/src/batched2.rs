@@ -1,0 +1,11 @@
+//! Known-bad fixture for rule `panic`: engine code panicking on
+//! recoverable conditions instead of returning SimError.
+
+pub fn pick(xs: &[u64]) -> u64 {
+    let first = xs.first().unwrap();
+    let last = xs.last().expect("non-empty");
+    if first > last {
+        panic!("unsorted input");
+    }
+    *last
+}

@@ -1,0 +1,13 @@
+//! Known-bad fixture for rule `rng`: entropy-based seeding in library code,
+//! plus an ambient clock read for the determinism rule.
+
+use std::time::Instant;
+
+pub fn fresh_rng() -> ChaCha12Rng {
+    ChaCha12Rng::from_entropy()
+}
+
+pub fn timed_seed() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

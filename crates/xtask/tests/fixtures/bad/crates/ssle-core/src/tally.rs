@@ -1,0 +1,19 @@
+//! Known-bad fixture for rule `determinism`: ordered output built by
+//! iterating a hash map, plus waiver misuse for the `waiver` meta-rule —
+//! one waiver naming an unknown rule, one missing its reason.
+
+use std::collections::HashMap;
+
+pub fn ordered_ranks(counts: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (rank, _) in counts {
+        out.push(*rank);
+    }
+    out
+}
+
+// lint:allow(speed): not a rule this linter knows
+pub fn fine(x: u64) -> u64 {
+    // lint:allow(determinism)
+    x + 1
+}

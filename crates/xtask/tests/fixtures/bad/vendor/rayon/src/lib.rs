@@ -1,0 +1,8 @@
+//! Known-bad fixture for rule `unsafe`: a vendored concurrency crate root
+//! with no `#![forbid(unsafe_code)]` and an unjustified relaxed claim.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn claim(next: &AtomicUsize) -> usize {
+    next.fetch_add(1, Ordering::Relaxed)
+}

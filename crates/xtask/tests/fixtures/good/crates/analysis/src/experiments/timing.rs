@@ -1,0 +1,11 @@
+//! Known-good fixture: wall-clock reads inside an approved timing module.
+
+use std::time::Instant;
+
+/// Measures a closure. `crates/analysis/src/experiments/` is on the
+/// determinism rule's timing/config allowlist, so this needs no waiver.
+pub fn wall<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let started = Instant::now();
+    let out = f();
+    (out, started.elapsed().as_secs_f64())
+}

@@ -1,0 +1,10 @@
+//! Known-good fixture: a hash-map iteration under a reasoned waiver.
+
+use std::collections::HashMap;
+
+/// Sums committed ranks. Addition is commutative, so the visit order of the
+/// map cannot affect the result — the canonical waivable case.
+pub fn total(ranks: &HashMap<u64, u64>) -> u64 {
+    // lint:allow(determinism): summation is commutative; order cannot affect the result
+    ranks.values().sum()
+}

@@ -1,0 +1,12 @@
+//! Known-good fixture: a vendored concurrency crate root that passes the
+//! unsafe/concurrency audit — forbid attribute present, acquire/release
+//! ordering on the shared counter.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Claims the next work index with acquire/release ordering.
+pub fn claim(next: &AtomicUsize) -> usize {
+    next.fetch_add(1, Ordering::AcqRel)
+}

@@ -27,6 +27,7 @@ pub mod test_runner {
 
     /// Number of cases to run per property: `PROPTEST_CASES` or 64.
     pub fn cases() -> usize {
+        // lint:allow(determinism): case-count config for the test harness, not simulation state
         std::env::var("PROPTEST_CASES")
             .ok()
             .and_then(|v| v.parse().ok())

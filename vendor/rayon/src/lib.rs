@@ -53,6 +53,7 @@ pub fn current_num_threads() -> usize {
     if let Some(n) = INSTALLED_THREADS.with(|c| c.get()) {
         return n;
     }
+    // lint:allow(determinism): thread-count config only; results are thread-count-invariant
     if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = value.trim().parse::<usize>() {
             if n >= 1 {
@@ -187,6 +188,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // lint:allow(unsafe): the claimed index is the sync token; no data is published via this atomic
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 if index >= chunks.len() {
                     break;

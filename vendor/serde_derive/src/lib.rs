@@ -6,6 +6,8 @@
 //! therefore expand to nothing, while still accepting `#[serde(...)]` helper
 //! attributes so annotated types keep compiling unchanged.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op stand-in for `#[derive(Serialize)]`.
