@@ -15,11 +15,15 @@
 //! * [`discovered`] — E11 (`ElectLeader_r` stabilization curves under the
 //!   batched engine via dynamic state indexing),
 //! * [`fleet`] — F1 (trial-fleet throughput: trials/sec at 1 vs N worker
-//!   threads, with an inline bit-identity check on the aggregates).
+//!   threads, with an inline bit-identity check on the aggregates),
+//! * [`profiling`] — P1 (engine instrumentation profile: ns/interaction by
+//!   engine mode and the measured multi-batch epoch constant, read from the
+//!   `ppsim::telemetry` probes; also builds the `--trace` reference export).
 
 pub mod comparison;
 pub mod discovered;
 pub mod fleet;
+pub mod profiling;
 pub mod recovery;
 pub mod reset;
 pub mod scaling;
@@ -49,14 +53,17 @@ pub fn all(scale: Scale) -> Vec<Table> {
         scaling::e10_engine_scale(scale),
         discovered::e11_discovered_curves(scale),
         fleet::f1_fleet_throughput(scale),
+        profiling::p1_engine_profile(scale),
     ]
 }
 
-/// Looks up a single experiment by its identifier (`"e1"` … `"e11"`, or
-/// `"fleet"` for the F1 fleet-throughput table).
+/// Looks up a single experiment by its identifier (`"e1"` … `"e11"`,
+/// `"fleet"` for the F1 fleet-throughput table, or `"p1"` for the engine
+/// instrumentation profile).
 pub fn by_id(id: &str, scale: Scale) -> Option<Table> {
     match id {
         "fleet" => Some(fleet::f1_fleet_throughput(scale)),
+        "p1" => Some(profiling::p1_engine_profile(scale)),
         "e10" => Some(scaling::e10_engine_scale(scale)),
         "e11" => Some(discovered::e11_discovered_curves(scale)),
         "e1" => Some(tradeoff::e1_tradeoff_time(scale)),

@@ -1,0 +1,213 @@
+//! P1 — the engine instrumentation profile: ns-per-interaction by engine
+//! mode, straight from the `ppsim::telemetry` spans.
+//!
+//! E10 measures throughput from the outside (wall clock around the whole
+//! cell); P1 reads the engines' own probes. Each cell is a *single traced
+//! run* of the one-way epidemic with a [`Telemetry`] handle attached: the
+//! deterministic counters give exact interaction totals per engine mode, the
+//! timing spans give the nanoseconds the engine's run loop was on the clock,
+//! and the quotient is the per-interaction cost of each tier. For the
+//! multi-batch tier the trace also exposes the epoch structure, so the table
+//! reports the measured epoch-length constant `L / √n` — the paper's Θ(√n)
+//! collision bound as a number that must stay flat across `n`.
+//!
+//! The same module builds the reference trace behind `experiments --trace
+//! <path>`: one adaptive epidemic run at the scale's largest profiled `n`
+//! (10⁶ at quick scale and beyond), exported with [`TelemetryReport::to_jsonl`]
+//! — deterministic stream first, timing stream after.
+
+use crate::scale::{EngineKind, Scale};
+use crate::table::{fmt_f64, Table};
+use ppsim::epidemic::OneWayEpidemic;
+use ppsim::rng::derive_seed;
+use ppsim::telemetry::{Counter, SpanKind};
+use ppsim::{SimBuilder, Telemetry, TelemetryReport};
+
+/// The trace of one fully-instrumented epidemic completion run.
+#[derive(Debug)]
+pub struct EngineProfile {
+    /// Total interactions across every engine mode of the run.
+    pub interactions: u64,
+    /// Nanoseconds inside the engines' run loops (sum over all span kinds).
+    pub span_ns: u64,
+    /// Multi-batch epochs executed (0 outside the multi-batch mode).
+    pub epochs: u64,
+    /// Mean multi-batch epoch length (collision length `L`), interactions.
+    pub epoch_len: f64,
+    /// Adaptive handoffs taken (0 for the fixed engines).
+    pub handoffs: u64,
+}
+
+impl EngineProfile {
+    /// Nanoseconds of engine run-loop time per simulated interaction.
+    pub fn ns_per_interaction(&self) -> f64 {
+        self.span_ns as f64 / (self.interactions.max(1)) as f64
+    }
+}
+
+/// Runs one traced one-way-epidemic completion at population size `n` under
+/// `engine` and folds the telemetry report into an [`EngineProfile`].
+pub fn profile_epidemic(n: usize, engine: EngineKind, seed: u64) -> EngineProfile {
+    let telemetry = Telemetry::enabled();
+    let mut sim = SimBuilder::new(OneWayEpidemic::new(n, 1))
+        .kind(engine)
+        .seed(seed)
+        .telemetry(telemetry.clone())
+        .build();
+    let out = sim.run_until(&mut |c| c.count(1) == c.population(), u64::MAX);
+    assert!(out.satisfied, "epidemic completes under every engine");
+    let report = telemetry.report().expect("enabled handle has a report");
+    profile_from_report(&report)
+}
+
+/// Distills the per-mode counters and spans of a report into a profile.
+pub fn profile_from_report(report: &TelemetryReport) -> EngineProfile {
+    let interactions = report.counter(Counter::PerStepInteractions)
+        + report.counter(Counter::BatchedInteractions)
+        + report.counter(Counter::MultiBatchInteractions);
+    let span_ns = [
+        SpanKind::PerStepRun,
+        SpanKind::BatchedRun,
+        SpanKind::MultiBatchRun,
+    ]
+    .iter()
+    .map(|&kind| report.span_stats(kind).total_ns)
+    .sum();
+    EngineProfile {
+        interactions,
+        span_ns,
+        epochs: report.counter(Counter::MultiBatchEpochs),
+        epoch_len: report.collision_length().mean(),
+        handoffs: report.counter(Counter::AdaptiveHandoffs),
+    }
+}
+
+/// P1 — per-engine ns/interaction and the multi-batch epoch constant.
+pub fn p1_engine_profile(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "P1 — engine instrumentation profile: ns/interaction by mode and the measured \
+         multi-batch epoch constant",
+        &[
+            "n",
+            "engine",
+            "interactions",
+            "run-loop ms",
+            "ns/interaction",
+            "epochs",
+            "epoch len / √n",
+            "handoffs",
+        ],
+    );
+    for &n in &scale.batched_n_values() {
+        let seed = derive_seed(scale.base_seed() ^ 0x91, n as u64);
+        for engine in scale.e10_engines(n) {
+            let p = profile_epidemic(n, engine, seed);
+            let epoch_constant = if p.epochs > 0 {
+                fmt_f64(p.epoch_len / (n as f64).sqrt())
+            } else {
+                "n/a".to_string()
+            };
+            table.push_row([
+                n.to_string(),
+                engine.label().to_string(),
+                p.interactions.to_string(),
+                fmt_f64(p.span_ns as f64 / 1e6),
+                fmt_f64(p.ns_per_interaction()),
+                p.epochs.to_string(),
+                epoch_constant,
+                p.handoffs.to_string(),
+            ]);
+        }
+    }
+    table.push_note(
+        "Single traced run per cell: interactions and epochs come from the deterministic \
+         telemetry counters (bit-identical across machines), run-loop time from the timing \
+         spans (machine-dependent). ns/interaction is the engine's amortized per-interaction \
+         cost — it falls with n for the count engines (silent skipping, √n epochs) and stays \
+         flat for per-step."
+            .to_string(),
+    );
+    table.push_note(
+        "epoch len / √n is the multi-batch collision-length constant: an epoch of L \
+         interactions samples 2L agents, and the first birthday collision among the samples \
+         lands at 2L ≈ √(πn/2), so the mean epoch runs L ≈ √(πn/8) ≈ 0.63·√n interactions. \
+         The column must stay flat as n grows — drift signals a broken epoch scheduler."
+            .to_string(),
+    );
+    table
+}
+
+/// Builds the `--trace <path>` reference export: one traced adaptive
+/// epidemic completion at the scale's largest profiled population, serialized
+/// as JSONL (deterministic stream first, timing stream after).
+pub fn reference_trace_jsonl(scale: Scale) -> String {
+    let n = *scale
+        .batched_n_values()
+        .last()
+        .expect("every scale profiles at least one population")
+        // The full grid tops out at 10⁸; one traced reference run at 10⁶
+        // keeps the export cheap while matching the acceptance workload.
+        .min(&1_000_000);
+    let telemetry = Telemetry::enabled();
+    let mut sim = SimBuilder::new(OneWayEpidemic::new(n, 1))
+        .seed(derive_seed(scale.base_seed() ^ 0x7A, n as u64))
+        .telemetry(telemetry.clone())
+        .build();
+    let out = sim.run_until(&mut |c| c.count(1) == c.population(), u64::MAX);
+    assert!(out.satisfied, "the reference epidemic completes");
+    telemetry
+        .report()
+        .expect("enabled handle has a report")
+        .to_jsonl()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_capture_per_mode_structure() {
+        let batched = profile_epidemic(512, EngineKind::Batched, 5);
+        assert!(batched.interactions > 512);
+        assert_eq!(batched.epochs, 0);
+        assert_eq!(batched.handoffs, 0);
+        let multibatch = profile_epidemic(512, EngineKind::MultiBatch, 5);
+        assert!(multibatch.epochs > 0);
+        assert!(multibatch.epoch_len > 0.0);
+        assert!(multibatch.ns_per_interaction() >= 0.0);
+    }
+
+    #[test]
+    fn p1_reports_every_engine_and_the_epoch_constant() {
+        let table = p1_engine_profile(Scale::Tiny);
+        let ns = Scale::Tiny.batched_n_values().len();
+        let count = |label: &str| table.rows.iter().filter(|r| r[1] == label).count();
+        assert_eq!(count("batched"), ns);
+        assert_eq!(count("multibatch"), ns);
+        assert_eq!(count("auto"), ns);
+        for row in &table.rows {
+            assert!(row[2].parse::<u64>().unwrap() > 0, "interactions: {row:?}");
+            assert!(row[4].parse::<f64>().unwrap() >= 0.0, "ns/i: {row:?}");
+            if row[1] == "multibatch" {
+                let constant: f64 = row[6].parse().unwrap();
+                assert!(
+                    (0.2..3.0).contains(&constant),
+                    "epoch constant off-scale: {row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_trace_carries_both_streams() {
+        let jsonl = reference_trace_jsonl(Scale::Tiny);
+        assert!(jsonl.contains("\"stream\":\"det\""));
+        assert!(jsonl.contains("\"stream\":\"time\""));
+        assert!(jsonl.contains("\"event\":\"engine_selected\""));
+        let det_lines = jsonl
+            .lines()
+            .filter(|l| l.starts_with("{\"stream\":\"det\""))
+            .count();
+        assert!(det_lines > 10, "deterministic stream too thin");
+    }
+}

@@ -6,11 +6,14 @@
 //! cargo run --release -p bench --bin experiments -- e4 quick --csv results/
 //! ```
 //!
-//! The first argument selects the experiment (`e1` … `e11`, `fleet`, or
-//! `all`), the second the scale (`tiny`, `quick`, `full`; default `quick`).
-//! With
+//! The first argument selects the experiment (`e1` … `e11`, `fleet`, `p1`,
+//! or `all`), the second the scale (`tiny`, `quick`, `full`; default
+//! `quick`). With
 //! `--csv <dir>` every table is additionally written as a CSV file and as a
-//! JSON document into the given directory.
+//! JSON document into the given directory. With `--trace <path>` the driver
+//! additionally runs one telemetry-instrumented adaptive epidemic (the P1
+//! reference workload) and writes its trace as JSONL: the deterministic
+//! event stream first, the wall-clock timing stream after.
 
 #![forbid(unsafe_code)]
 
@@ -27,12 +30,19 @@ fn main() {
 
     let csv_at = args.iter().position(|a| a == "--csv");
     let csv_dir: Option<PathBuf> = csv_at.and_then(|i| args.get(i + 1)).map(PathBuf::from);
-    // Positionals are whatever remains once `--csv <dir>` is stripped, so the
-    // flag may appear before, between, or after them.
+    let trace_at = args.iter().position(|a| a == "--trace");
+    let trace_path: Option<PathBuf> = trace_at.and_then(|i| args.get(i + 1)).map(PathBuf::from);
+    // Positionals are whatever remains once `--csv <dir>` and
+    // `--trace <path>` are stripped, so the flags may appear before, between,
+    // or after them.
+    let flag_index = |i: usize| -> bool {
+        csv_at.is_some_and(|c| i == c || i == c + 1)
+            || trace_at.is_some_and(|t| i == t || i == t + 1)
+    };
     let positionals: Vec<&String> = args
         .iter()
         .enumerate()
-        .filter(|(i, _)| csv_at.map_or(true, |c| *i != c && *i != c + 1))
+        .filter(|(i, _)| !flag_index(*i))
         .map(|(_, a)| a)
         .collect();
     let selection = positionals
@@ -97,10 +107,28 @@ fn main() {
         }
         eprintln!("wrote CSV/JSON results to {}", dir.display());
     }
+
+    if let Some(path) = trace_path {
+        let jsonl = analysis::experiments::profiling::reference_trace_jsonl(scale);
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                std::process::exit(1);
+            }
+        }
+        if let Err(e) = std::fs::write(&path, jsonl) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote reference telemetry trace to {}", path.display());
+    }
 }
 
 fn print_usage() {
-    eprintln!("usage: experiments [e1|e2|...|e11|fleet|all] [tiny|quick|full] [--csv <dir>]");
+    eprintln!(
+        "usage: experiments [e1|e2|...|e11|fleet|p1|all] [tiny|quick|full] [--csv <dir>] \
+         [--trace <path>]"
+    );
     eprintln!();
     eprintln!("  e1  stabilization time vs r          (Theorem 1.1, time axis)");
     eprintln!("  e2  state-space size vs r            (Theorem 1.1, space axis)");
@@ -114,4 +142,5 @@ fn print_usage() {
     eprintln!("  e10 engine scale sweep: batched vs multi-batch vs per-step at large n");
     eprintln!("  e11 ElectLeader_r stabilization curves + r trade-off surface (dynamic indexing)");
     eprintln!("  fleet trial-fleet throughput: trials/sec at 1 vs N worker threads");
+    eprintln!("  p1  engine instrumentation profile: ns/interaction by mode (telemetry spans)");
 }

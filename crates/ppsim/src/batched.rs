@@ -54,6 +54,7 @@ use crate::error::SimError;
 use crate::protocol::{CleanInit, InteractionCtx};
 use crate::rng::{uniform_below_u128, SimRng};
 use crate::simulation::{RunOutcome, StabilizationOptions};
+use crate::telemetry::{Counter, SpanKind, Telemetry};
 use rand::distributions::{Distribution, Geometric};
 use rand::RngCore;
 use std::collections::HashMap;
@@ -166,6 +167,11 @@ struct PairIndex {
     /// pick is forced.
     positive: usize,
     sole_positive: Option<usize>,
+    /// Monotone count of Fenwick point updates (slot creation, death, and
+    /// per-transition weight refreshes). Plain engine bookkeeping — one add
+    /// per real update — that the telemetry layer snapshots by delta, so a
+    /// disabled [`Telemetry`] handle records nothing anywhere.
+    updates: u64,
 }
 
 impl PairIndex {
@@ -266,6 +272,7 @@ impl PairIndex {
         }
         self.slots[slot].weight = weight;
         self.tree.update(slot, old, weight);
+        self.updates += 1;
         // The mirror is a true sum of disjoint pair weights, bounded by
         // n(n−1) < 2¹²⁴; default (debug-checked) arithmetic on the exact
         // branch keeps any future bookkeeping bug a loud panic instead of a
@@ -507,6 +514,13 @@ pub struct BatchSimulation<P: EnumerableProtocol> {
     interactions: u64,
     active_interactions: u64,
     pairs: PairIndex,
+    /// Observability handle; disabled by default, in which case every probe
+    /// below compiles to an early-out on a `None` and the engine's RNG
+    /// stream and control flow are byte-identical to an uninstrumented run.
+    telemetry: Telemetry,
+    /// Fenwick update count already copied into the telemetry counters
+    /// (delta snapshotting keeps the hot path free of per-update probes).
+    fenwick_seen: u64,
 }
 
 impl<P: EnumerableProtocol> BatchSimulation<P> {
@@ -537,7 +551,23 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
             interactions: 0,
             active_interactions: 0,
             pairs,
+            telemetry: Telemetry::disabled(),
+            fenwick_seen: 0,
         })
+    }
+
+    /// Attaches a [`Telemetry`] handle. Counters and spans recorded from now
+    /// on land in that handle's report; Fenwick updates performed before the
+    /// attach (index construction included) are not back-filled.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.fenwick_seen = self.pairs.updates;
+        self.telemetry = telemetry;
+    }
+
+    /// The attached [`Telemetry`] handle (disabled unless
+    /// [`Self::set_telemetry`] was called with an enabled one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Creates a batched simulation from an explicit count configuration.
@@ -658,6 +688,9 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
             // Every occupied pair is silent: the configuration is frozen
             // forever, so the rest of the budget is all no-ops.
             self.interactions += budget;
+            self.telemetry.count(Counter::BatchedStalls, 1);
+            self.telemetry.count(Counter::BatchedInteractions, budget);
+            self.telemetry.count(Counter::BatchedSilentSkipped, budget);
             return BatchOutcome {
                 executed: budget,
                 changed: false,
@@ -668,6 +701,7 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
         let silent = if p_active >= 1.0 {
             0
         } else {
+            self.telemetry.count(Counter::BatchedGeometricDraws, 1);
             Geometric::new(p_active)
                 // lint:allow(panic): p_active < 1.0 on this branch and > 0 by construction
                 .expect("probability is in (0, 1)")
@@ -675,6 +709,9 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
         };
         if silent >= budget {
             self.interactions += budget;
+            self.telemetry.count(Counter::BatchedTruncatedRuns, 1);
+            self.telemetry.count(Counter::BatchedInteractions, budget);
+            self.telemetry.count(Counter::BatchedSilentSkipped, budget);
             return BatchOutcome {
                 executed: budget,
                 changed: false,
@@ -686,7 +723,10 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
         // single positive-weight pair (e.g. the one-way epidemic) the pick
         // is forced, saving the RNG draw.
         let (u, v) = match self.pairs.sole_positive_pair() {
-            Some(pair) => pair,
+            Some(pair) => {
+                self.telemetry.count(Counter::BatchedForcedPicks, 1);
+                pair
+            }
             None => {
                 // For totals within u64 this consumes the identical RNG
                 // stream as the historical u64 draw (see `uniform_below_u128`).
@@ -721,6 +761,16 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
             .note_counts_changed(&self.protocol, &self.counts, &affected[..distinct]);
         self.interactions += silent + 1;
         self.active_interactions += 1;
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .count(Counter::BatchedInteractions, silent + 1);
+            self.telemetry.count(Counter::BatchedSilentSkipped, silent);
+            self.telemetry.count(Counter::BatchedActiveInteractions, 1);
+            let updates = self.pairs.updates;
+            self.telemetry
+                .count(Counter::BatchedFenwickUpdates, updates - self.fenwick_seen);
+            self.fenwick_seen = updates;
+        }
         BatchOutcome {
             executed: silent + 1,
             changed: true,
@@ -731,6 +781,7 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
     /// Executes exactly `budget` interactions (batching silent runs) and
     /// returns the number of non-silent ones among them.
     pub fn run(&mut self, budget: u64) -> u64 {
+        let _span = self.telemetry.span(SpanKind::BatchedRun);
         let before = self.active_interactions;
         let mut done = 0;
         while done < budget {
@@ -752,6 +803,7 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
     where
         F: FnMut(&CountConfiguration) -> bool,
     {
+        let _span = self.telemetry.span(SpanKind::BatchedRun);
         let mut done = 0;
         loop {
             if pred(&self.counts) {
@@ -799,6 +851,7 @@ impl<P: EnumerableProtocol> BatchSimulation<P> {
     where
         F: FnMut(&CountConfiguration) -> bool,
     {
+        let _span = self.telemetry.span(SpanKind::BatchedRun);
         let n = self.counts.population() as usize;
         let start = self.interactions;
         let mut detector = StabilizationDetector::new();

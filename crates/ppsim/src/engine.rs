@@ -75,10 +75,12 @@ use crate::convergence::{StabilizationDetector, StabilizationResult};
 use crate::count_config::CountConfiguration;
 use crate::enumerable::EnumerableProtocol;
 use crate::error::SimError;
+use crate::metrics::InteractionMetrics;
 use crate::multibatch::MultiBatchSimulation;
 use crate::protocol::CleanInit;
 use crate::rng::derive_seed;
 use crate::simulation::{RunOutcome, Simulation, StabilizationOptions};
+use crate::telemetry::{BalanceSummary, Counter, SpanKind, Telemetry};
 use serde::Serialize;
 
 /// The simulation engine a run executes under.
@@ -180,6 +182,18 @@ pub trait SimulationEngine<P: EnumerableProtocol> {
 
     /// When this engine observes predicates — epoch-level vs
     /// interaction-level; see the [module docs](self).
+    ///
+    /// The granularity is also the engine's *observability* contract:
+    /// anything finer than it simply does not exist in the engine's state.
+    /// In particular, per-agent [`crate::metrics::InteractionMetrics`] are
+    /// available only from the per-step engine (enable them through
+    /// [`SimBuilder::telemetry`] and read them via
+    /// [`PerStepEngine::interaction_metrics`]) — the count engines treat
+    /// agents as anonymous multiplicities, so a batched or epoch-commit
+    /// granularity implies there is no per-agent interaction load to report,
+    /// at any price. The telemetry deterministic stream carries an
+    /// `interaction_balance` summary only for per-step runs for the same
+    /// reason.
     fn predicate_granularity(&self) -> PredicateGranularity;
 
     /// Executes up to `budget` interactions unconditionally and returns the
@@ -343,6 +357,13 @@ pub struct PerStepEngine<P: EnumerableProtocol> {
     /// leaves when its state changes.
     encoded: Vec<usize>,
     check_every: u64,
+    /// Observability handle; disabled by default, in which case every probe
+    /// is an early-out on a `None` and trajectories are untouched.
+    telemetry: Telemetry,
+    /// Per-agent interaction load, maintained only while telemetry is
+    /// enabled (the `O(n)` vector and two increments per interaction are
+    /// pure observability — nothing in the engine reads them back).
+    metrics: Option<InteractionMetrics>,
 }
 
 impl<P: EnumerableProtocol> PerStepEngine<P> {
@@ -371,7 +392,33 @@ impl<P: EnumerableProtocol> PerStepEngine<P> {
             counts: CountConfiguration::from_counts(counts),
             encoded,
             check_every: 1,
+            telemetry: Telemetry::disabled(),
+            metrics: None,
         }
+    }
+
+    /// Attaches a [`Telemetry`] handle. An enabled handle also switches on
+    /// the per-agent [`InteractionMetrics`] (only this engine can maintain
+    /// them — see [`SimulationEngine::predicate_granularity`]).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.metrics = telemetry
+            .is_enabled()
+            .then(|| InteractionMetrics::new(self.encoded.len()));
+        self.telemetry = telemetry;
+    }
+
+    /// The attached [`Telemetry`] handle (disabled unless
+    /// [`Self::set_telemetry`] was called with an enabled one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The per-agent interaction load recorded so far — `Some` only while an
+    /// enabled telemetry handle is attached. The count engines cannot offer
+    /// this at any price; see
+    /// [`SimulationEngine::predicate_granularity`].
+    pub fn interaction_metrics(&self) -> Option<&InteractionMetrics> {
+        self.metrics.as_ref()
     }
 
     /// Creates a per-step engine from the protocol's clean initial
@@ -403,6 +450,10 @@ impl<P: EnumerableProtocol> PerStepEngine<P> {
         let Some(pair) = self.sim.step() else {
             return false;
         };
+        self.telemetry.count(Counter::PerStepInteractions, 1);
+        if let Some(metrics) = &mut self.metrics {
+            metrics.record(pair.initiator, pair.responder);
+        }
         let (i, j) = (pair.initiator.index(), pair.responder.index());
         let (new_u, new_v) = {
             let protocol = self.sim.protocol();
@@ -423,13 +474,29 @@ impl<P: EnumerableProtocol> PerStepEngine<P> {
         true
     }
 
+    /// Pushes the current per-agent load summary into the telemetry report
+    /// (a no-op unless metrics are being maintained).
+    fn flush_balance(&self) {
+        if let Some(metrics) = &self.metrics {
+            self.telemetry.record_balance(BalanceSummary {
+                n: self.encoded.len() as u64,
+                total: metrics.total(),
+                min: metrics.min(),
+                max: metrics.max(),
+                max_imbalance: metrics.max_imbalance(),
+            });
+        }
+    }
+
     /// Executes up to `budget` interactions unconditionally; returns the
     /// number executed (less only if the scheduler ran out).
     pub fn run(&mut self, budget: u64) -> u64 {
+        let _span = self.telemetry.span(SpanKind::PerStepRun);
         let mut done = 0;
         while done < budget && self.step_once() {
             done += 1;
         }
+        self.flush_balance();
         done
     }
 
@@ -440,15 +507,19 @@ impl<P: EnumerableProtocol> PerStepEngine<P> {
     where
         F: FnMut(&CountConfiguration) -> bool,
     {
+        let _span = self.telemetry.span(SpanKind::PerStepRun);
         let mut done = 0u64;
         loop {
+            self.telemetry.count(Counter::PerStepStrideChecks, 1);
             if pred(&self.counts) {
+                self.flush_balance();
                 return RunOutcome {
                     interactions: done,
                     satisfied: true,
                 };
             }
             if done >= budget {
+                self.flush_balance();
                 return RunOutcome {
                     interactions: done,
                     satisfied: false,
@@ -462,9 +533,12 @@ impl<P: EnumerableProtocol> PerStepEngine<P> {
             done += ran;
             if ran < chunk {
                 // Scheduler exhausted mid-chunk: one final observation.
+                self.telemetry.count(Counter::PerStepStrideChecks, 1);
+                let satisfied = pred(&self.counts);
+                self.flush_balance();
                 return RunOutcome {
                     interactions: done,
-                    satisfied: pred(&self.counts),
+                    satisfied,
                 };
             }
         }
@@ -482,6 +556,7 @@ impl<P: EnumerableProtocol> PerStepEngine<P> {
     where
         F: FnMut(&CountConfiguration) -> bool,
     {
+        let _span = self.telemetry.span(SpanKind::PerStepRun);
         let n = self.counts.population() as usize;
         let start = self.sim.interactions();
         let mut detector = StabilizationDetector::new();
@@ -493,6 +568,7 @@ impl<P: EnumerableProtocol> PerStepEngine<P> {
             }
             executed += 1;
             if executed % opts.check_every == 0 {
+                self.telemetry.count(Counter::PerStepStrideChecks, 1);
                 detector.observe(start + executed, pred(&self.counts));
                 if detector.consecutive(start + executed) >= opts.confirm_window {
                     break;
@@ -500,6 +576,7 @@ impl<P: EnumerableProtocol> PerStepEngine<P> {
             }
         }
         detector.observe(start + executed, pred(&self.counts));
+        self.flush_balance();
         StabilizationResult {
             interactions: executed,
             stabilized_at: detector.stabilized_at(),
@@ -646,6 +723,10 @@ pub struct AdaptiveSimulation<P: EnumerableProtocol> {
     config: AdaptiveConfig,
     /// Interactions until the next activity measurement.
     until_check: u64,
+    /// Observability handle; cloned into every inner engine so per-mode
+    /// counters and spans attribute themselves, and the handoff event
+    /// stream records each swap at its absolute interaction index.
+    telemetry: Telemetry,
 }
 
 impl<P: EnumerableProtocol> AdaptiveSimulation<P> {
@@ -706,7 +787,31 @@ impl<P: EnumerableProtocol> AdaptiveSimulation<P> {
             base_interactions: 0,
             until_check: config.check_interval,
             config,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a [`Telemetry`] handle, cloning it into the currently active
+    /// inner engine (future handoffs hand it on automatically). An enabled
+    /// handle records an `engine_selected` event for the engine running now,
+    /// with the activity measurement that selected it re-taken.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry.clone();
+        match &mut self.inner {
+            ActiveEngine::Batched(sim) => sim.set_telemetry(telemetry),
+            ActiveEngine::MultiBatch(sim) => sim.set_telemetry(telemetry),
+            ActiveEngine::Swapping => unreachable!("engine mid-handoff"),
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .record_engine_selected(self.current_kind().label(), self.active_fraction());
+        }
+    }
+
+    /// The attached [`Telemetry`] handle (disabled unless
+    /// [`Self::set_telemetry`] was called with an enabled one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Creates an adaptive simulation with an explicit switching policy.
@@ -781,28 +886,50 @@ impl<P: EnumerableProtocol> AdaptiveSimulation<P> {
 
     /// Hands the protocol and count vector to the other engine.
     fn swap(&mut self) {
+        // The fraction that motivated this swap, re-measured here only when
+        // someone is listening (the measurement is observability, never
+        // control flow — `maybe_switch` decided already).
+        let fraction = if self.telemetry.is_enabled() {
+            self.active_fraction()
+        } else {
+            0.0
+        };
         let retired = std::mem::replace(&mut self.inner, ActiveEngine::Swapping);
         self.handoffs += 1;
         let next_seed = derive_seed(self.seed, self.handoffs);
+        let (from, to);
         self.inner = match retired {
             ActiveEngine::Batched(sim) => {
                 self.base_interactions += sim.interactions();
                 let (protocol, counts) = sim.into_parts();
-                ActiveEngine::MultiBatch(Box::new(MultiBatchSimulation::new(
-                    protocol, counts, next_seed,
-                )))
+                let mut next = MultiBatchSimulation::new(protocol, counts, next_seed);
+                next.set_telemetry(self.telemetry.clone());
+                (from, to) = (EngineKind::Batched, EngineKind::MultiBatch);
+                ActiveEngine::MultiBatch(Box::new(next))
             }
             ActiveEngine::MultiBatch(sim) => {
                 self.base_interactions += sim.interactions();
                 let (protocol, counts) = sim.into_parts();
-                ActiveEngine::Batched(Box::new(BatchSimulation::new(protocol, counts, next_seed)))
+                let mut next = BatchSimulation::new(protocol, counts, next_seed);
+                next.set_telemetry(self.telemetry.clone());
+                (from, to) = (EngineKind::MultiBatch, EngineKind::Batched);
+                ActiveEngine::Batched(Box::new(next))
             }
             ActiveEngine::Swapping => unreachable!("engine mid-handoff"),
         };
+        self.telemetry.count(Counter::AdaptiveHandoffs, 1);
+        self.telemetry.record_handoff(
+            self.handoffs,
+            self.base_interactions,
+            from.label(),
+            to.label(),
+            fraction,
+        );
     }
 
     /// Measures activity and switches engines if it crossed the band.
     fn maybe_switch(&mut self) {
+        self.telemetry.count(Counter::AdaptiveActivityChecks, 1);
         let fraction = self.active_fraction();
         let should_swap = match &self.inner {
             ActiveEngine::Batched(_) => fraction > self.config.high_activity,
@@ -1063,6 +1190,7 @@ pub struct SimBuilder<P: EnumerableProtocol> {
     init: BuilderInit<P::State>,
     check_every: u64,
     adaptive: AdaptiveConfig,
+    telemetry: Telemetry,
 }
 
 impl<P: EnumerableProtocol + 'static> SimBuilder<P> {
@@ -1076,6 +1204,7 @@ impl<P: EnumerableProtocol + 'static> SimBuilder<P> {
             init: BuilderInit::Clean,
             check_every: 1,
             adaptive: AdaptiveConfig::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -1116,6 +1245,17 @@ impl<P: EnumerableProtocol + 'static> SimBuilder<P> {
     /// tiers).
     pub fn adaptive_config(mut self, config: AdaptiveConfig) -> Self {
         self.adaptive = config;
+        self
+    }
+
+    /// Attaches a [`Telemetry`] handle to the engine being built.
+    ///
+    /// Keep a clone: after the run, [`Telemetry::report`] on your copy holds
+    /// the counters, histograms, spans, and the deterministic event stream.
+    /// The default (a disabled handle) records nothing and costs nothing —
+    /// trajectories and RNG streams are bit-identical either way.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -1165,25 +1305,33 @@ impl<P: EnumerableProtocol + 'static> SimBuilder<P> {
             init,
             check_every,
             adaptive,
+            telemetry,
         } = self;
         match kind {
             EngineKind::PerStep => {
                 let config = Self::per_agent_config(&protocol, init);
-                Box::new(PerStepEngine::new(protocol, config, seed).with_check_every(check_every))
+                let mut sim =
+                    PerStepEngine::new(protocol, config, seed).with_check_every(check_every);
+                sim.set_telemetry(telemetry);
+                Box::new(sim)
             }
             EngineKind::Batched => {
                 let counts = Self::count_config(&protocol, init);
-                Box::new(BatchSimulation::new(protocol, counts, seed))
+                let mut sim = BatchSimulation::new(protocol, counts, seed);
+                sim.set_telemetry(telemetry);
+                Box::new(sim)
             }
             EngineKind::MultiBatch => {
                 let counts = Self::count_config(&protocol, init);
-                Box::new(MultiBatchSimulation::new(protocol, counts, seed))
+                let mut sim = MultiBatchSimulation::new(protocol, counts, seed);
+                sim.set_telemetry(telemetry);
+                Box::new(sim)
             }
             EngineKind::Auto => {
                 let counts = Self::count_config(&protocol, init);
-                Box::new(AdaptiveSimulation::with_config(
-                    protocol, counts, seed, adaptive,
-                ))
+                let mut sim = AdaptiveSimulation::with_config(protocol, counts, seed, adaptive);
+                sim.set_telemetry(telemetry);
+                Box::new(sim)
             }
         }
     }
@@ -1201,10 +1349,13 @@ impl<P: EnumerableProtocol + 'static> SimBuilder<P> {
             seed,
             init,
             adaptive,
+            telemetry,
             ..
         } = self;
         let counts = Self::count_config(&protocol, init);
-        AdaptiveSimulation::with_config(protocol, counts, seed, adaptive)
+        let mut sim = AdaptiveSimulation::with_config(protocol, counts, seed, adaptive);
+        sim.set_telemetry(telemetry);
+        sim
     }
 }
 
@@ -1397,7 +1548,10 @@ mod tests {
     /// thread-local cache instead of rebuilding the `O(√n)` table.
     #[test]
     fn adaptive_handoffs_reuse_the_survival_table() {
-        use crate::multibatch::survival_table_builds;
+        // The gauge lives in the telemetry layer (always on, telemetry
+        // handle or not); `crate::multibatch::survival_table_builds` is the
+        // same counter under its historical name.
+        use crate::telemetry::survival_table_builds;
         // A population no other test on this thread uses (libtest runs each
         // test on its own thread, so the counter starts fresh anyway).
         let n = 633;

@@ -34,6 +34,7 @@
 
 use crate::enumerable::EnumerableProtocol;
 use crate::protocol::{InteractionCtx, Protocol};
+use crate::telemetry::{Counter, Telemetry};
 use rand::RngCore;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -229,6 +230,11 @@ where
     /// predicate handle warms the same cache as the engine.
     #[allow(clippy::type_complexity)]
     support_cache: Rc<RefCell<HashMap<(usize, usize), Vec<((usize, usize), f64)>>>>,
+    /// Observability handle in a shared slot, so attaching telemetry through
+    /// any clone (the engine's copy or a predicate handle) makes intern and
+    /// memo counters land in one report. Disabled by default: every probe is
+    /// then an early-out and discovery behaves identically.
+    telemetry: Rc<RefCell<Telemetry>>,
 }
 
 impl<P: SupportEnumerable> Clone for DiscoveredProtocol<P>
@@ -240,6 +246,7 @@ where
             inner: Rc::clone(&self.inner),
             interner: Rc::clone(&self.interner),
             support_cache: Rc::clone(&self.support_cache),
+            telemetry: Rc::clone(&self.telemetry),
         }
     }
 }
@@ -265,6 +272,23 @@ where
             inner: Rc::new(inner),
             interner: Rc::new(RefCell::new(Interner::new())),
             support_cache: Rc::new(RefCell::new(HashMap::new())),
+            telemetry: Rc::new(RefCell::new(Telemetry::disabled())),
+        }
+    }
+
+    /// Attaches a [`Telemetry`] handle to the shared slot — every clone of
+    /// this adapter counts interned states and support-memo hits/misses into
+    /// that handle's report from now on.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        *self.telemetry.borrow_mut() = telemetry;
+    }
+
+    /// Counts `minted` freshly interned states, if anyone is listening.
+    fn note_interned(&self, minted: u64) {
+        if minted > 0 {
+            self.telemetry
+                .borrow()
+                .count(Counter::IndexerInternedStates, minted);
         }
     }
 
@@ -340,7 +364,14 @@ where
 
     /// Interns the state, assigning the next free index on first sight.
     fn encode(&self, state: &Self::State) -> usize {
-        self.interner.borrow_mut().intern(state)
+        let (index, minted) = {
+            let mut interner = self.interner.borrow_mut();
+            let before = interner.states.len();
+            let index = interner.intern(state);
+            (index, (interner.states.len() - before) as u64)
+        };
+        self.note_interned(minted);
+        index
     }
 
     fn decode(&self, index: usize) -> Self::State {
@@ -369,8 +400,14 @@ where
             )
         };
         self.inner.interact(&mut u, &mut v, ctx);
-        let mut interner = self.interner.borrow_mut();
-        (interner.intern(&u), interner.intern(&v))
+        let (pair, minted) = {
+            let mut interner = self.interner.borrow_mut();
+            let before = interner.states.len();
+            let pair = (interner.intern(&u), interner.intern(&v));
+            (pair, (interner.states.len() - before) as u64)
+        };
+        self.note_interned(minted);
+        pair
     }
 
     fn transition_support(&self, initiator: usize, responder: usize) -> Vec<((usize, usize), f64)> {
@@ -380,8 +417,10 @@ where
         // index pair: `pair_support` probes the transition on clones of the
         // (wide) states, which dwarfs a small-`Vec` clone from the cache.
         if let Some(cached) = self.support_cache.borrow().get(&(initiator, responder)) {
+            self.telemetry.borrow().count(Counter::IndexerMemoHits, 1);
             return cached.clone();
         }
+        self.telemetry.borrow().count(Counter::IndexerMemoMisses, 1);
         // Hold the immutable borrow only across the (reference-taking)
         // support call — the wrapped protocol cannot touch the interner —
         // then re-borrow mutably to intern the owned outcome states. This
@@ -391,13 +430,19 @@ where
             self.inner
                 .pair_support(&interner.states[initiator], &interner.states[responder])
         };
-        let indexed = match support {
+        let indexed: Vec<((usize, usize), f64)> = match support {
             Some(support) => {
-                let mut interner = self.interner.borrow_mut();
-                support
-                    .into_iter()
-                    .map(|((a, b), p)| ((interner.intern(&a), interner.intern(&b)), p))
-                    .collect()
+                let (indexed, minted) = {
+                    let mut interner = self.interner.borrow_mut();
+                    let before = interner.states.len();
+                    let indexed: Vec<((usize, usize), f64)> = support
+                        .into_iter()
+                        .map(|((a, b), p)| ((interner.intern(&a), interner.intern(&b)), p))
+                        .collect();
+                    (indexed, (interner.states.len() - before) as u64)
+                };
+                self.note_interned(minted);
+                indexed
             }
             None => Vec::new(),
         };

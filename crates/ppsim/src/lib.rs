@@ -39,6 +39,11 @@
 //!   trials over [`SimBuilder`]-built engines across worker threads, with
 //!   merge-able streaming statistics ([`FleetStats`]) whose results are
 //!   bit-identical regardless of thread count,
+//! * [`telemetry`] — engine-internal tracing: a zero-cost-when-disabled
+//!   [`Telemetry`] handle threaded through [`SimBuilder`] into every tier,
+//!   recording counters, histograms and span timings split into a
+//!   deterministic stream (byte-identical across thread counts) and a
+//!   timing stream (wall clock, observability only),
 //! * [`adversary`] — combinators for arbitrary (adversarial) initial
 //!   configurations, as required for *self-stabilization* experiments,
 //! * [`epidemic`] — one-way/two-way epidemic protocols and measurement helpers
@@ -105,6 +110,7 @@ pub mod rng;
 pub mod scheduler;
 pub mod simulation;
 pub mod stats;
+pub mod telemetry;
 
 pub use adversary::AdversarialInit;
 pub use batched::BatchSimulation;
@@ -128,6 +134,7 @@ pub use rng::SimRng;
 pub use scheduler::{OrderedPair, Scheduler, ScriptedScheduler, UniformScheduler};
 pub use simulation::{RunOutcome, Simulation};
 pub use stats::Summary;
+pub use telemetry::{Telemetry, TelemetryReport};
 
 /// Converts a number of interactions into *parallel time* (interactions divided
 /// by the population size), the time measure used throughout the paper.

@@ -55,9 +55,10 @@ use crate::error::SimError;
 use crate::protocol::{CleanInit, InteractionCtx};
 use crate::rng::{uniform_below, uniform_below_u128, SimRng};
 use crate::simulation::{RunOutcome, StabilizationOptions};
+use crate::telemetry::{Counter, SpanKind, Telemetry};
 use rand::distributions::{hypergeometric_split, multinomial_split};
 use rand::RngCore;
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -102,8 +103,6 @@ thread_local! {
     /// `Rc<[f64]>` per `n` instead of rebuilding the `O(√n)` table on every
     /// construction.
     static SURVIVAL_CACHE: RefCell<HashMap<u64, Rc<[f64]>>> = RefCell::new(HashMap::new());
-    /// Cache-miss counter backing [`survival_table_builds`].
-    static SURVIVAL_BUILDS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A few distinct populations cover any realistic workload on one thread;
@@ -122,7 +121,7 @@ fn shared_survival_table(n: u64) -> Rc<[f64]> {
             cache.clear();
         }
         let table: Rc<[f64]> = collision_survival_table(n).into();
-        SURVIVAL_BUILDS.with(|builds| builds.set(builds.get() + 1));
+        crate::telemetry::note_survival_table_build();
         cache.insert(n, Rc::clone(&table));
         table
     })
@@ -133,9 +132,11 @@ fn shared_survival_table(n: u64) -> Rc<[f64]> {
 ///
 /// Exposed so tests can pin that repeated engine constructions — in
 /// particular [`crate::AdaptiveSimulation`] handoffs — reuse the shared
-/// table instead of reconstructing it.
+/// table instead of reconstructing it. The count lives in the telemetry
+/// layer's always-on gauge ([`crate::telemetry::survival_table_builds`]);
+/// this is a thin alias kept next to the cache it observes.
 pub fn survival_table_builds() -> u64 {
-    SURVIVAL_BUILDS.with(Cell::get)
+    crate::telemetry::survival_table_builds()
 }
 
 /// A uniform draw in the open interval `(0, 1)`, so its log is finite.
@@ -176,6 +177,9 @@ pub struct MultiBatchSimulation<P: EnumerableProtocol> {
     interactions: u64,
     epochs: u64,
     ln_collision_survival: Rc<[f64]>,
+    /// Observability handle; disabled by default, in which case every probe
+    /// is an early-out on a `None` and the RNG stream is untouched.
+    telemetry: Telemetry,
 }
 
 impl<P: EnumerableProtocol> MultiBatchSimulation<P> {
@@ -207,7 +211,20 @@ impl<P: EnumerableProtocol> MultiBatchSimulation<P> {
             interactions: 0,
             epochs: 0,
             ln_collision_survival,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a [`Telemetry`] handle; counters, the collision-length
+    /// histogram, and run spans recorded from now on land in its report.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached [`Telemetry`] handle (disabled unless
+    /// [`Self::set_telemetry`] was called with an enabled one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Creates a multi-batch simulation from an explicit count configuration.
@@ -310,6 +327,7 @@ impl<P: EnumerableProtocol> MultiBatchSimulation<P> {
     /// outcome states (two per interaction) to `updated`.
     fn resolve_group(&mut self, u: usize, v: usize, m: u64, updated: &mut Vec<(usize, u64)>) {
         if self.protocol.is_silent(u, v) {
+            self.telemetry.count(Counter::MultiBatchGroupsSilent, 1);
             updated.push((u, m));
             updated.push((v, m));
             return;
@@ -319,6 +337,9 @@ impl<P: EnumerableProtocol> MultiBatchSimulation<P> {
             0 => {
                 // Unknown outcome distribution: sample each interaction blind
                 // (the only per-interaction work the engine ever does).
+                self.telemetry.count(Counter::MultiBatchGroupsBlind, 1);
+                self.telemetry
+                    .count(Counter::MultiBatchBlindInteractions, m);
                 let interaction = self.interactions;
                 for _ in 0..m {
                     let mut ctx = InteractionCtx::new(&mut self.rng, interaction);
@@ -328,11 +349,15 @@ impl<P: EnumerableProtocol> MultiBatchSimulation<P> {
                 }
             }
             1 => {
+                self.telemetry
+                    .count(Counter::MultiBatchGroupsDeterministic, 1);
                 let (x, y) = support[0].0;
                 updated.push((x, m));
                 updated.push((y, m));
             }
             _ => {
+                self.telemetry
+                    .count(Counter::MultiBatchGroupsMultinomial, 1);
                 let weights: Vec<f64> = support.iter().map(|&(_, w)| w).collect();
                 let split = multinomial_split(m, &weights, &mut self.rng);
                 for (&((x, y), _), count) in support.iter().zip(split) {
@@ -374,6 +399,10 @@ impl<P: EnumerableProtocol> MultiBatchSimulation<P> {
         // the epoch would have ended.
         let free = length.min(cap);
         let collide = length < cap;
+        self.telemetry.record_collision_length(length);
+        if !collide {
+            self.telemetry.count(Counter::MultiBatchTruncatedEpochs, 1);
+        }
 
         // The 2·free distinct agents, allocated to states hypergeometrically.
         let occupied: Vec<(usize, u64)> = self.counts.occupied().collect();
@@ -451,15 +480,21 @@ impl<P: EnumerableProtocol> MultiBatchSimulation<P> {
             };
             self.fire_single(cu, cv);
             executed += 1;
+            self.telemetry
+                .count(Counter::MultiBatchCollisionInteractions, 1);
         }
         self.interactions += executed;
         self.epochs += 1;
+        self.telemetry
+            .count(Counter::MultiBatchInteractions, executed);
+        self.telemetry.count(Counter::MultiBatchEpochs, 1);
         executed
     }
 
     /// Executes exactly `budget` interactions (in epoch-sized batches) and
     /// returns the number of epochs this took.
     pub fn run(&mut self, budget: u64) -> u64 {
+        let _span = self.telemetry.span(SpanKind::MultiBatchRun);
         let before = self.epochs;
         let mut done = 0;
         while done < budget {
@@ -482,6 +517,7 @@ impl<P: EnumerableProtocol> MultiBatchSimulation<P> {
     where
         F: FnMut(&CountConfiguration) -> bool,
     {
+        let _span = self.telemetry.span(SpanKind::MultiBatchRun);
         let mut done = 0;
         loop {
             if pred(&self.counts) {
@@ -518,6 +554,7 @@ impl<P: EnumerableProtocol> MultiBatchSimulation<P> {
     where
         F: FnMut(&CountConfiguration) -> bool,
     {
+        let _span = self.telemetry.span(SpanKind::MultiBatchRun);
         let n = self.counts.population() as usize;
         let start = self.interactions;
         let mut detector = StabilizationDetector::new();

@@ -1,0 +1,63 @@
+//! The **one sanctioned wall-clock site** in `ppsim`.
+//!
+//! The workspace's determinism lint (`cargo run -p xtask -- lint`) forbids
+//! `Instant::now()` everywhere in `ppsim` *except this module*: simulation
+//! behaviour must be a function of explicit inputs and seeds alone, so
+//! wall-clock readings may feed **observability only** — never RNG streams,
+//! never control flow. Every timing probe in the telemetry layer funnels
+//! through [`now_ns`], which keeps the audit surface a single file.
+//!
+//! Readings are nanoseconds since a per-thread anchor taken on first use.
+//! They are monotone within a thread (that is all span timing needs) and
+//! deliberately **not** comparable across threads or processes — which is
+//! why everything derived from them lives in the telemetry report's
+//! *timing* stream, stripped before any byte-identity comparison.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    /// The thread's clock anchor, taken lazily on the first reading.
+    static ANCHOR: Instant = Instant::now();
+    /// Monotonicity guard: `now_ns` never goes backwards within a thread
+    /// even if the platform clock misbehaves.
+    static LAST: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Nanoseconds elapsed since this thread's first clock reading.
+///
+/// Monotone non-decreasing within a thread; meaningless across threads.
+pub fn now_ns() -> u64 {
+    let raw = ANCHOR.with(|a| a.elapsed().as_nanos()) as u64;
+    LAST.with(|last| {
+        let clamped = raw.max(last.get());
+        last.set(clamped);
+        clamped
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readings_are_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        let c = now_ns();
+        assert!(a <= b && b <= c, "clock went backwards: {a} {b} {c}");
+    }
+
+    #[test]
+    fn readings_advance_with_work() {
+        let before = now_ns();
+        // Enough work that any real clock ticks at least once.
+        let mut acc = 0u64;
+        for i in 0..100_000u64 {
+            acc = acc.wrapping_add(i).rotate_left(7);
+        }
+        assert!(acc != 42, "keep the loop alive");
+        let after = now_ns();
+        assert!(after >= before);
+    }
+}

@@ -8,7 +8,10 @@
 
 use ppsim::engine::{EngineKind, SimBuilder};
 use ppsim::epidemic::OneWayEpidemic;
-use ppsim::{parallel_time, peak_rss_bytes, reset_peak_rss, CountConfiguration};
+// The peak-RSS watermark is read through the telemetry gauge surface (which
+// `ppsim::mem` backs), the same API the timing stream exports it under.
+use ppsim::telemetry::{peak_rss_bytes, reset_peak_rss};
+use ppsim::{parallel_time, CountConfiguration};
 
 /// Index of the informed state under `OneWayEpidemic`'s encoding.
 const INFORMED: usize = 1;

@@ -1,0 +1,10 @@
+//! Known-bad fixture for rule `determinism`: a wall-clock read in ppsim
+//! engine code outside the sanctioned `telemetry/clock.rs` module. Only the
+//! clock module is allowlisted — timing probes anywhere else must call it.
+
+use std::time::Instant;
+
+pub fn epoch_cost_ns() -> u64 {
+    let started = Instant::now();
+    started.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,11 @@
+//! Known-good fixture: the telemetry clock module is the one sanctioned
+//! `Instant::now` site inside ppsim (readings feed observability only).
+
+use std::time::Instant;
+
+/// `crates/ppsim/src/telemetry/clock.rs` is on the determinism rule's
+/// timing allowlist, so this wall-clock read needs no waiver.
+pub fn now_ns(anchor: Instant) -> u64 {
+    let fresh = Instant::now();
+    fresh.duration_since(anchor).as_nanos() as u64
+}

@@ -19,10 +19,19 @@
 //! `Auto` tier (adaptive handoffs included) and an `ElectLeader_r` cell via
 //! the dynamic state indexer (the Rc-based `DiscoveredProtocol` is built
 //! inside each trial closure — per-worker, never shared).
+//!
+//! With `--trace <path>` the probe additionally reruns the epidemic workload
+//! with a `ppsim::telemetry` handle per trial, merges the per-trial reports
+//! in trial order, and writes the **deterministic stream only** as JSONL —
+//! the telemetry analogue of the CSV: counters, histograms, and handoff
+//! events with no wall-clock fields, so the exported file must also be
+//! byte-identical across thread counts.
 
 use ppsim::epidemic::{measure_epidemic_time_with, OneWayEpidemic};
 use ppsim::simulation::StabilizationOptions;
-use ppsim::{DiscoveredProtocol, EngineKind, FleetStats, SimBuilder, TrialFleet};
+use ppsim::{
+    DiscoveredProtocol, EngineKind, FleetStats, SimBuilder, Telemetry, TelemetryReport, TrialFleet,
+};
 use ssle_core::{output, ElectLeader};
 
 const BASE_SEED: u64 = 0xDE7E_2141;
@@ -53,6 +62,30 @@ fn elect_leader_stats(trials: usize, n: usize, r: usize) -> FleetStats {
     })
 }
 
+/// Reruns the epidemic workload traced and folds the per-trial telemetry
+/// reports — in trial order, so the merge is schedule-independent — into one
+/// deterministic-stream JSONL document.
+fn traced_epidemic_det_stream(trials: usize, n: usize) -> String {
+    let nf = n as f64;
+    let budget = (50.0 * nf * nf.ln().max(1.0)).ceil() as u64;
+    let reports = TrialFleet::new(trials, BASE_SEED).run(|seed| {
+        let telemetry = Telemetry::enabled();
+        let mut sim = SimBuilder::new(OneWayEpidemic::new(n, 1))
+            .kind(EngineKind::Auto)
+            .seed(seed)
+            .telemetry(telemetry.clone())
+            .build();
+        let out = sim.run_until(&mut |c| c.count(1) == c.population(), budget);
+        assert!(out.satisfied, "epidemic completes within 50 n ln n");
+        telemetry.report().expect("enabled handle has a report")
+    });
+    let mut merged = TelemetryReport::default();
+    for report in &reports {
+        merged.merge(report);
+    }
+    merged.deterministic_jsonl()
+}
+
 fn emit(workload: &str, stats: &FleetStats) {
     // Digest of the full retained sample: every observation's bit pattern
     // folded in, so a single reordered or perturbed sample changes the row.
@@ -76,8 +109,17 @@ fn emit(workload: &str, stats: &FleetStats) {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(96);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_at = args.iter().position(|a| a == "--trace");
+    let trace_path = trace_at.and_then(|i| args.get(i + 1)).cloned();
+    let trials: usize = args
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| trace_at.map_or(true, |t| *i != t && *i != t + 1))
+        .map(|(_, a)| a)
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(96);
     eprintln!(
         "fleet determinism probe: {trials} trials/workload on {} worker thread(s)",
         rayon::current_num_threads()
@@ -90,4 +132,9 @@ fn main() {
         "elect_leader_n12_r3",
         &elect_leader_stats(trials.div_ceil(6), 12, 3),
     );
+    if let Some(path) = trace_path {
+        let jsonl = traced_epidemic_det_stream(trials, 512);
+        std::fs::write(&path, jsonl).expect("write deterministic trace");
+        eprintln!("wrote deterministic telemetry stream to {path}");
+    }
 }
