@@ -58,10 +58,14 @@ pub fn all(scale: Scale) -> Vec<Table> {
 }
 
 /// Looks up a single experiment by its identifier (`"e1"` … `"e11"`,
-/// `"fleet"` for the F1 fleet-throughput table, or `"p1"` for the engine
-/// instrumentation profile).
+/// `"fleet"` for the F1 fleet-throughput table, `"p1"` for the engine
+/// instrumentation profile, or `"sweep"` for the experiment service's
+/// deterministic epidemic sweep at that scale's default spec).
 pub fn by_id(id: &str, scale: Scale) -> Option<Table> {
     match id {
+        "sweep" => Some(crate::service::service_sweep(
+            &crate::service::JobSpec::new("sweep", scale),
+        )),
         "fleet" => Some(fleet::f1_fleet_throughput(scale)),
         "p1" => Some(profiling::p1_engine_profile(scale)),
         "e10" => Some(scaling::e10_engine_scale(scale)),
@@ -77,6 +81,29 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Table> {
         "e9" => Some(substrate::e9_coin(scale)),
         _ => None,
     }
+}
+
+/// Whether `id` names a registry experiment ([`by_id`] would return a
+/// table), without running anything — the cheap existence check job-spec
+/// validation needs.
+pub fn by_id_exists(id: &str) -> bool {
+    matches!(
+        id,
+        "sweep"
+            | "fleet"
+            | "p1"
+            | "e1"
+            | "e2"
+            | "e3"
+            | "e4"
+            | "e5"
+            | "e6"
+            | "e7"
+            | "e8"
+            | "e9"
+            | "e10"
+            | "e11"
+    )
 }
 
 /// Runs one `ElectLeader_r` trial: build the instance, generate the

@@ -8,7 +8,11 @@
 //! * [`scale`] — the `Quick`/`Full` experiment scales (grid sizes, trial
 //!   counts, budgets),
 //! * [`experiments`] — one function per experiment, each returning a
-//!   [`Table`] whose rows are what `EXPERIMENTS.md` records.
+//!   [`Table`] whose rows are what `EXPERIMENTS.md` records,
+//! * [`service`] — the experiment service layer: the [`ExperimentService`]
+//!   trait (spec in, rendered result-table JSON out), the canonical
+//!   [`JobSpec`] with its content-addressed cache key, and the in-process
+//!   [`LocalService`] backend the `ssle-server` daemon's workers call into.
 //!
 //! The `experiments` binary in the `bench` crate and the Criterion benches
 //! are thin wrappers over these functions.
@@ -19,10 +23,12 @@
 pub mod experiments;
 pub mod runner;
 pub mod scale;
+pub mod service;
 pub mod table;
 
 pub use runner::{run_trials, summarize_trials, TrialOutcome, TrialSummary};
-#[allow(deprecated)]
-pub use scale::Engine;
 pub use scale::{EngineKind, Scale};
+pub use service::{
+    ExperimentService, JobSpec, JobState, JobStatus, LocalService, ServiceError, ServiceHealth,
+};
 pub use table::Table;

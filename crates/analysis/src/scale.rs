@@ -9,13 +9,6 @@ use serde::Serialize;
 
 pub use ppsim::EngineKind;
 
-/// Deprecated alias: engine selection is no longer experiment-harness
-/// policy — it moved into `ppsim::engine` so every caller (experiments,
-/// tests, benches, examples) picks engines through the same
-/// [`ppsim::SimBuilder`] surface.
-#[deprecated(note = "use ppsim::EngineKind — engine policy moved to ppsim::engine")]
-pub type Engine = EngineKind;
-
 /// How large an experiment run should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum Scale {
@@ -36,6 +29,16 @@ impl Scale {
             "quick" => Some(Scale::Quick),
             "full" => Some(Scale::Full),
             _ => None,
+        }
+    }
+
+    /// The token [`Scale::parse`] accepts for this scale — the canonical
+    /// wire spelling used by job specs and CLIs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
         }
     }
 
@@ -248,6 +251,9 @@ mod tests {
         assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
         assert_eq!(Scale::parse("full"), Some(Scale::Full));
         assert_eq!(Scale::parse("medium"), None);
+        for scale in [Scale::Tiny, Scale::Quick, Scale::Full] {
+            assert_eq!(Scale::parse(scale.label()), Some(scale));
+        }
     }
 
     #[test]
@@ -319,15 +325,6 @@ mod tests {
         // The cap is reachable at full scale, where the 10^8 row lives.
         assert!(Scale::Full.batched_n_values().contains(&100_000_000));
         assert_eq!(Scale::Full.e10_trials(100_000_000), 3);
-    }
-
-    #[test]
-    fn deprecated_engine_alias_still_resolves() {
-        // The shim keeps downstream code compiling while engine policy lives
-        // in ppsim; internal code uses EngineKind directly.
-        #[allow(deprecated)]
-        let legacy: Engine = EngineKind::Batched;
-        assert_eq!(legacy, EngineKind::Batched);
     }
 
     #[test]

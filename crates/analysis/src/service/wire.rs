@@ -1,0 +1,335 @@
+//! Minimal flat-JSON wire codec.
+//!
+//! The experiment service speaks JSON over a hand-rolled HTTP server (the
+//! build environment is offline — no `serde_json`, see `vendor/README.md`),
+//! and every message on that wire is a *flat* object of scalar fields: a job
+//! spec, a job status, a health report. This module is the parser for
+//! exactly that shape — strings (full escape handling, `\uXXXX` surrogate
+//! pairs included), numbers (kept as raw tokens so `u64` seeds survive
+//! without an `f64` round-trip), booleans, and `null`. Nested objects and
+//! arrays are rejected: result *tables* travel as opaque pre-rendered
+//! documents ([`crate::Table::to_json`]) and are never re-parsed by the
+//! service layer.
+
+/// A scalar JSON value as it appeared on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw token (exact for 64-bit seeds, which an
+    /// `f64` round-trip would silently corrupt above 2⁵³).
+    Number(String),
+    /// A string, with escapes decoded.
+    Str(String),
+}
+
+impl JsonValue {
+    /// The decoded string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(raw) => raw.parse::<u64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (`null` maps to NaN — the inverse of the
+    /// non-finite → `null` write policy of [`crate::table::json_number`]).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(raw) => raw.parse::<f64>().ok(),
+            JsonValue::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// Looks up a field by key in a parsed object.
+pub fn get<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Parses one flat JSON object of scalar fields.
+///
+/// Field order is preserved; duplicate keys, nested containers, and
+/// trailing garbage are errors.
+pub fn parse_object(text: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut fields: Vec<(String, JsonValue)> = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some('}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key `{key}`"));
+            }
+            p.skip_ws();
+            p.expect(':')?;
+            p.skip_ws();
+            let value = p.parse_scalar()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err("trailing characters after the object".to_string());
+    }
+    Ok(fields)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected `{want}`, found {other:?}")),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some('"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some('t') => self.parse_literal("true", JsonValue::Bool(true)),
+            Some('f') => self.parse_literal("false", JsonValue::Bool(false)),
+            Some('n') => self.parse_literal("null", JsonValue::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some('{') | Some('[') => {
+                Err("nested objects/arrays are not part of the service wire".to_string())
+            }
+            other => Err(format!("expected a JSON value, found {other:?}")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
+        for want in lit.chars() {
+            if self.next() != Some(want) {
+                return Err(format!("malformed literal (expected `{lit}`)"));
+            }
+        }
+        Ok(value)
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err("malformed number: no digits".to_string());
+        }
+        if self.peek() == Some('.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return Err("malformed number: empty fraction".to_string());
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return Err("malformed number: empty exponent".to_string());
+            }
+        }
+        Ok(JsonValue::Number(
+            self.chars[start..self.pos].iter().collect(),
+        ))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{08}'),
+                    Some('f') => out.push('\u{0c}'),
+                    Some('u') => {
+                        let unit = self.parse_hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&unit) {
+                            // High surrogate: a low surrogate escape must
+                            // follow to form one supplementary code point.
+                            if self.next() != Some('\\') || self.next() != Some('u') {
+                                return Err("lone high surrogate".to_string());
+                            }
+                            let low = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err("invalid low surrogate".to_string());
+                            }
+                            let cp = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(cp).ok_or("invalid surrogate pair")?
+                        } else {
+                            char::from_u32(unit)
+                                .ok_or(format!("\\u{unit:04x} is a lone surrogate"))?
+                        };
+                        out.push(c);
+                    }
+                    other => return Err(format!("unknown escape {other:?}")),
+                },
+                Some(c) if (c as u32) < 0x20 => {
+                    return Err("raw control character in string".to_string())
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.next().ok_or("truncated \\u escape")?;
+            let d = c.to_digit(16).ok_or(format!("bad hex digit `{c}`"))?;
+            v = (v << 4) | d;
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_flat_object_with_every_scalar_kind() {
+        let fields =
+            parse_object(r#"{ "s": "hi", "n": 42, "f": -1.5e3, "t": true, "x": null }"#).unwrap();
+        assert_eq!(fields.len(), 5);
+        assert_eq!(get(&fields, "s").unwrap().as_str(), Some("hi"));
+        assert_eq!(get(&fields, "n").unwrap().as_u64(), Some(42));
+        assert_eq!(get(&fields, "f").unwrap().as_f64(), Some(-1500.0));
+        assert_eq!(get(&fields, "t"), Some(&JsonValue::Bool(true)));
+        assert!(get(&fields, "x").unwrap().is_null());
+        assert_eq!(get(&fields, "missing"), None);
+    }
+
+    #[test]
+    fn large_seeds_survive_without_f64_rounding() {
+        let seed = u64::MAX - 1;
+        let fields = parse_object(&format!("{{\"seed\":{seed}}}")).unwrap();
+        // 2^64 - 2 is not representable in f64; the raw-token path keeps it.
+        assert_eq!(get(&fields, "seed").unwrap().as_u64(), Some(seed));
+    }
+
+    #[test]
+    fn string_escapes_round_trip_through_the_writer() {
+        let original = "say \"hi\"\\\n\t\u{08}\u{0c}\u{1f}Θ";
+        let written = format!("{{\"k\":\"{}\"}}", crate::table::json_escape(original));
+        let fields = parse_object(&written).unwrap();
+        assert_eq!(get(&fields, "k").unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let fields = parse_object(r#"{"k":"🦀"}"#).unwrap();
+        assert_eq!(get(&fields, "k").unwrap().as_str(), Some("🦀"));
+        assert!(parse_object(r#"{"k":"\ud83e"}"#).is_err(), "lone surrogate");
+    }
+
+    #[test]
+    fn empty_object_and_whitespace_tolerance() {
+        assert!(parse_object(" { } ").unwrap().is_empty());
+        let fields = parse_object("\n{\t\"a\" :\r1 ,\n\"b\": \"x\" }\n").unwrap();
+        assert_eq!(fields.len(), 2);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{}}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":01x}",
+            "{\"a\":\"unterminated}",
+            "{\"a\":1 \"b\":2}",
+            "{\"a\":1}{",
+            "{\"a\":{}}",
+            "{\"a\":[1]}",
+            "{\"a\":1,\"a\":2}",
+            "{\"a\":nul}",
+            "{\"a\":\"\u{01}\"}",
+        ] {
+            assert!(parse_object(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn null_reads_back_as_nan_under_the_float_policy() {
+        // The writer maps non-finite floats to null; the reader maps null
+        // back to NaN so numeric fields stay typed.
+        let fields = parse_object("{\"p\":null}").unwrap();
+        assert!(get(&fields, "p").unwrap().as_f64().unwrap().is_nan());
+    }
+}

@@ -77,27 +77,21 @@ impl Table {
 
     /// Renders the table as a pretty-printed JSON document with the same
     /// field layout `serde_json` would produce for this struct.
+    ///
+    /// This is the wire format of the experiment service (`GET
+    /// /jobs/:id/result` returns exactly these bytes, and the
+    /// content-addressed cache stores them), so the output must be valid
+    /// JSON for *any* experiment output — escaping is delegated to
+    /// [`json_escape`].
     pub fn to_json(&self) -> String {
-        fn escape(s: &str) -> String {
-            let mut out = String::with_capacity(s.len() + 2);
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\r' => out.push_str("\\r"),
-                    '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
-                }
-            }
-            out
-        }
         fn string_array(items: &[String], indent: &str) -> String {
             if items.is_empty() {
                 return "[]".to_string();
             }
-            let cells: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+            let cells: Vec<String> = items
+                .iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect();
             format!(
                 "[\n{indent}  {}\n{indent}]",
                 cells.join(&format!(",\n{indent}  "))
@@ -115,7 +109,7 @@ impl Table {
         };
         format!(
             "{{\n  \"title\": \"{}\",\n  \"columns\": {},\n  \"rows\": {},\n  \"notes\": {}\n}}",
-            escape(&self.title),
+            json_escape(&self.title),
             string_array(&self.columns, "  "),
             rows,
             string_array(&self.notes, "  ")
@@ -146,6 +140,65 @@ impl Table {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal (between the
+/// quotes — the caller writes the quotes).
+///
+/// Handles the full set RFC 8259 requires: `"` and `\` get their two-char
+/// escapes, the common control characters get theirs (`\n`, `\r`, `\t`),
+/// every other control character below U+0020 becomes `\u00XX`. The JS line
+/// separators U+2028/U+2029 are escaped too: valid JSON unescaped, but they
+/// break naive log/eval consumers, and escaping costs nothing.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::table::json_escape;
+/// assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+/// assert_eq!(json_escape("line\u{1f}end"), "line\\u001fend");
+/// ```
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            '\u{2028}' => out.push_str("\\u2028"),
+            '\u{2029}' => out.push_str("\\u2029"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float as a JSON *value* token.
+///
+/// JSON has no NaN or infinity literals — `NaN` in a response body is a
+/// parse error in every standards-compliant consumer. The wire policy is
+/// **non-finite → `null`**; finite values use Rust's shortest round-trip
+/// `Display`, which is always a valid JSON number.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::table::json_number;
+/// assert_eq!(json_number(0.5), "0.5");
+/// assert_eq!(json_number(f64::NAN), "null");
+/// assert_eq!(json_number(f64::INFINITY), "null");
+/// ```
+pub fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        value.to_string()
+    } else {
+        "null".to_string()
     }
 }
 
@@ -218,6 +271,64 @@ mod tests {
     fn mismatched_row_rejected() {
         let mut t = Table::new("x", &["a", "b"]);
         t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn json_escape_covers_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(json_escape("back\\slash"), "back\\\\slash");
+        assert_eq!(json_escape("a\nb\rc\td"), "a\\nb\\rc\\td");
+        assert_eq!(json_escape("\u{08}\u{0c}"), "\\b\\f");
+        // Every remaining control character gets the \u00XX form.
+        assert_eq!(json_escape("\u{00}\u{01}\u{1f}"), "\\u0000\\u0001\\u001f");
+        // JS line separators are escaped defensively.
+        assert_eq!(json_escape("a\u{2028}b\u{2029}"), "a\\u2028b\\u2029");
+        // Non-ASCII passes through untouched (JSON is UTF-8).
+        assert_eq!(json_escape("Θ(√n) — ε"), "Θ(√n) — ε");
+    }
+
+    #[test]
+    fn json_escape_output_never_contains_raw_controls_or_bare_quotes() {
+        // Property over a hostile sample: the escaped form must be directly
+        // embeddable between quotes.
+        let hostile: String = (0u32..0x20)
+            .filter_map(char::from_u32)
+            .chain(['"', '\\', '\u{2028}'])
+            .collect();
+        let escaped = json_escape(&hostile);
+        assert!(escaped.chars().all(|c| (c as u32) >= 0x20));
+        let mut prev_backslash = false;
+        for c in escaped.chars() {
+            if c == '"' {
+                assert!(prev_backslash, "bare quote in escaped output");
+            }
+            prev_backslash = c == '\\' && !prev_backslash;
+        }
+    }
+
+    #[test]
+    fn json_number_maps_non_finite_to_null() {
+        assert_eq!(json_number(0.0), "0");
+        assert_eq!(json_number(-1.5), "-1.5");
+        // Huge magnitudes expand to plain decimal — long, but valid JSON
+        // that round-trips exactly.
+        assert_eq!(json_number(1e300).parse::<f64>(), Ok(1e300));
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+        assert_eq!(json_number(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn to_json_stays_valid_for_hostile_cells() {
+        let mut t = Table::new("E\u{0} \"wire\"", &["a"]);
+        t.push_row(["\u{1}\u{2028}\"cell\"\\"]);
+        let json = t.to_json();
+        // No raw control characters may survive into the document.
+        assert!(json.chars().all(|c| (c as u32) >= 0x20 || c == '\n'));
+        assert!(json.contains("\\u0000"));
+        assert!(json.contains("\\u2028"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

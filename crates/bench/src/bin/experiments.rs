@@ -7,17 +7,27 @@
 //! ```
 //!
 //! The first argument selects the experiment (`e1` … `e11`, `fleet`, `p1`,
-//! or `all`), the second the scale (`tiny`, `quick`, `full`; default
-//! `quick`). With
+//! `sweep`, or `all`), the second the scale (`tiny`, `quick`, `full`;
+//! default `quick`). With
 //! `--csv <dir>` every table is additionally written as a CSV file and as a
 //! JSON document into the given directory. With `--trace <path>` the driver
 //! additionally runs one telemetry-instrumented adaptive epidemic (the P1
 //! reference workload) and writes its trace as JSONL: the deterministic
 //! event stream first, the wall-clock timing stream after.
+//!
+//! Two service modes ride along:
+//!
+//! * `experiments serve [--addr HOST:PORT] [--workers N] [--cache DIR]`
+//!   runs the `ssle-server` experiment daemon in the foreground;
+//! * `--remote HOST:PORT` routes a single-experiment selection through a
+//!   running daemon instead of executing locally, printing the returned
+//!   result-table JSON document (byte-identical to a local run) to stdout.
 
 #![forbid(unsafe_code)]
 
-use analysis::{experiments, Scale, Table};
+use analysis::{experiments, ExperimentService, JobSpec, Scale, Table};
+use ssle_client::HttpClient;
+use ssle_server::ServerConfig;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -27,17 +37,24 @@ fn main() {
         print_usage();
         return;
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        run_serve(&args[1..]);
+        return;
+    }
 
     let csv_at = args.iter().position(|a| a == "--csv");
     let csv_dir: Option<PathBuf> = csv_at.and_then(|i| args.get(i + 1)).map(PathBuf::from);
     let trace_at = args.iter().position(|a| a == "--trace");
     let trace_path: Option<PathBuf> = trace_at.and_then(|i| args.get(i + 1)).map(PathBuf::from);
-    // Positionals are whatever remains once `--csv <dir>` and
-    // `--trace <path>` are stripped, so the flags may appear before, between,
-    // or after them.
+    let remote_at = args.iter().position(|a| a == "--remote");
+    let remote_addr: Option<String> = remote_at.and_then(|i| args.get(i + 1)).cloned();
+    // Positionals are whatever remains once `--csv <dir>`, `--trace <path>`,
+    // and `--remote <addr>` are stripped, so the flags may appear before,
+    // between, or after them.
     let flag_index = |i: usize| -> bool {
         csv_at.is_some_and(|c| i == c || i == c + 1)
             || trace_at.is_some_and(|t| i == t || i == t + 1)
+            || remote_at.is_some_and(|r| i == r || i == r + 1)
     };
     let positionals: Vec<&String> = args
         .iter()
@@ -54,6 +71,11 @@ fn main() {
         .get(1)
         .and_then(|a| Scale::parse(a))
         .unwrap_or(Scale::Quick);
+
+    if let Some(addr) = remote_addr {
+        run_remote(&addr, &selection, scale);
+        return;
+    }
 
     let started = Instant::now();
     let tables: Vec<Table> = if selection == "all" {
@@ -124,11 +146,79 @@ fn main() {
     }
 }
 
+/// Runs the experiment service daemon in the foreground (`serve` mode).
+fn run_serve(args: &[String]) {
+    let mut config = ServerConfig::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| match iter.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("{name} needs a value");
+                std::process::exit(1);
+            }
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => match value("--workers").parse() {
+                Ok(n) => config.workers = n,
+                Err(_) => {
+                    eprintln!("--workers needs an unsigned integer");
+                    std::process::exit(1);
+                }
+            },
+            "--cache" => config.cache_dir = Some(PathBuf::from(value("--cache"))),
+            other => {
+                eprintln!("unknown serve flag `{other}`");
+                print_usage();
+                std::process::exit(1);
+            }
+        }
+    }
+    match ssle_server::spawn(config) {
+        Ok(handle) => {
+            eprintln!("experiments serve: listening on {}", handle.addr());
+            handle.join();
+        }
+        Err(e) => {
+            eprintln!("experiments serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs one experiment through a remote daemon and prints the result
+/// document — the same bytes `Table::to_json` produces locally.
+fn run_remote(addr: &str, selection: &str, scale: Scale) {
+    if selection == "all" {
+        eprintln!("--remote runs a single experiment id, not `all`");
+        std::process::exit(1);
+    }
+    let spec = JobSpec::new(selection, scale);
+    let client = HttpClient::new(addr);
+    match client.run_job(&spec) {
+        // `print!`, not `println!`: stdout must carry the document's exact
+        // bytes (CI byte-diffs it against a locally written `--csv` JSON
+        // file, which has no trailing newline).
+        Ok(document) => {
+            use std::io::Write;
+            let mut stdout = std::io::stdout();
+            let _ = stdout.write_all(document.as_bytes());
+            let _ = stdout.flush();
+        }
+        Err(e) => {
+            eprintln!("remote job against {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn print_usage() {
     eprintln!(
-        "usage: experiments [e1|e2|...|e11|fleet|p1|all] [tiny|quick|full] [--csv <dir>] \
-         [--trace <path>]"
+        "usage: experiments [e1|e2|...|e11|fleet|p1|sweep|all] [tiny|quick|full] [--csv <dir>] \
+         [--trace <path>] [--remote <host:port>]"
     );
+    eprintln!("       experiments serve [--addr HOST:PORT] [--workers N] [--cache DIR]");
     eprintln!();
     eprintln!("  e1  stabilization time vs r          (Theorem 1.1, time axis)");
     eprintln!("  e2  state-space size vs r            (Theorem 1.1, space axis)");
@@ -143,4 +233,5 @@ fn print_usage() {
     eprintln!("  e11 ElectLeader_r stabilization curves + r trade-off surface (dynamic indexing)");
     eprintln!("  fleet trial-fleet throughput: trials/sec at 1 vs N worker threads");
     eprintln!("  p1  engine instrumentation profile: ns/interaction by mode (telemetry spans)");
+    eprintln!("  sweep deterministic epidemic sweep (timing-free; the service's native workload)");
 }

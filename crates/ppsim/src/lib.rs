@@ -44,6 +44,9 @@
 //!   recording counters, histograms and span timings split into a
 //!   deterministic stream (byte-identical across thread counts) and a
 //!   timing stream (wall clock, observability only),
+//! * [`digest`] — stable FNV-1a content digests ([`Fnv64`]): the hash behind
+//!   the fleet-determinism sample digest and the experiment service's
+//!   content-addressed result cache (`cache/<hex16>.json`),
 //! * [`adversary`] — combinators for arbitrary (adversarial) initial
 //!   configurations, as required for *self-stabilization* experiments,
 //! * [`epidemic`] — one-way/two-way epidemic protocols and measurement helpers
@@ -96,6 +99,7 @@ pub mod coin;
 pub mod configuration;
 pub mod convergence;
 pub mod count_config;
+pub mod digest;
 pub mod engine;
 pub mod enumerable;
 pub mod epidemic;
@@ -118,6 +122,7 @@ pub use coin::SyntheticCoin;
 pub use configuration::Configuration;
 pub use convergence::{StabilizationDetector, StabilizationResult};
 pub use count_config::{CountConfiguration, MAX_POPULATION};
+pub use digest::{fnv1a_64, Fnv64};
 pub use engine::{
     AdaptiveConfig, AdaptiveSimulation, EngineKind, PerStepEngine, PredicateGranularity,
     SimBuilder, SimulationEngine,

@@ -1,0 +1,236 @@
+//! Blocking HTTP client for the `ssle-server` experiment service.
+//!
+//! [`HttpClient`] speaks the daemon's four-route API over plain
+//! `std::net::TcpStream` (one request per connection — the server answers
+//! `Connection: close`, so a read-to-EOF *is* the response body) and
+//! implements [`analysis::ExperimentService`], making a remote daemon a
+//! drop-in backend anywhere a `LocalService` fits: same trait, same specs,
+//! and — the service's core contract — the same result bytes.
+//!
+//! Polling is paced by [`std::thread::sleep`] and bounded by an *attempt
+//! count*, not a wall-clock deadline, so the client contains no ambient
+//! time reads (the workspace determinism lint holds here too).
+
+#![forbid(unsafe_code)]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use analysis::service::wire;
+use analysis::{ExperimentService, JobSpec, JobState, JobStatus, ServiceError, ServiceHealth};
+
+/// A blocking client bound to one daemon address.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    addr: String,
+    poll_interval: Duration,
+    max_polls: usize,
+}
+
+impl HttpClient {
+    /// A client for the daemon at `addr` (`host:port`), with the default
+    /// polling cadence: 25 ms between polls, 24 000 polls (~10 minutes of
+    /// queued-or-running before giving up).
+    pub fn new(addr: impl Into<String>) -> HttpClient {
+        HttpClient {
+            addr: addr.into(),
+            poll_interval: Duration::from_millis(25),
+            max_polls: 24_000,
+        }
+    }
+
+    /// Overrides the polling cadence (tests shorten it).
+    pub fn with_polling(mut self, interval: Duration, max_polls: usize) -> HttpClient {
+        self.poll_interval = interval;
+        self.max_polls = max_polls;
+        self
+    }
+
+    /// The daemon address this client targets.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// `POST /jobs`: submits a spec, returning the job's status (which may
+    /// already be `done` when the daemon answered from its cache).
+    pub fn submit(&self, spec: &JobSpec) -> Result<JobStatus, ServiceError> {
+        let (code, body) = self.request("POST", "/jobs", Some(&spec.canonical_json()))?;
+        match code {
+            200 | 202 => JobStatus::parse_json(&body),
+            400 => Err(ServiceError::InvalidSpec(error_message(&body))),
+            _ => Err(unexpected(code, &body)),
+        }
+    }
+
+    /// `GET /jobs/:id`: polls a job's status.
+    pub fn status(&self, job: &str) -> Result<JobStatus, ServiceError> {
+        let (code, body) = self.request("GET", &format!("/jobs/{job}"), None)?;
+        match code {
+            200 => JobStatus::parse_json(&body),
+            404 => Err(ServiceError::Protocol(format!("no such job `{job}`"))),
+            _ => Err(unexpected(code, &body)),
+        }
+    }
+
+    /// `GET /jobs/:id/result`: fetches a finished job's result document —
+    /// the exact bytes the worker rendered (and the cache stores).
+    pub fn result(&self, job: &str) -> Result<String, ServiceError> {
+        let (code, body) = self.request("GET", &format!("/jobs/{job}/result"), None)?;
+        match code {
+            200 => Ok(body),
+            202 => Err(ServiceError::Protocol(format!(
+                "job `{job}` is not finished"
+            ))),
+            404 => Err(ServiceError::Protocol(format!("no such job `{job}`"))),
+            500 => Err(ServiceError::JobFailed(error_message(&body))),
+            _ => Err(unexpected(code, &body)),
+        }
+    }
+
+    /// `GET /healthz`: the daemon's queue/worker/cache counters.
+    pub fn health(&self) -> Result<ServiceHealth, ServiceError> {
+        let (code, body) = self.request("GET", "/healthz", None)?;
+        match code {
+            200 => ServiceHealth::parse_json(&body),
+            _ => Err(unexpected(code, &body)),
+        }
+    }
+
+    /// One request/response round trip on a fresh connection.
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), ServiceError> {
+        let mut stream = TcpStream::connect(&self.addr)
+            .map_err(|e| ServiceError::Transport(format!("connect {}: {e}", self.addr)))?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+        let payload = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+            self.addr,
+            payload.len(),
+        );
+        stream
+            .write_all(request.as_bytes())
+            .map_err(|e| ServiceError::Transport(format!("write: {e}")))?;
+        let mut response = String::new();
+        stream
+            .read_to_string(&mut response)
+            .map_err(|e| ServiceError::Transport(format!("read: {e}")))?;
+        parse_response(&response)
+    }
+}
+
+impl ExperimentService for HttpClient {
+    /// Submit, poll to completion, fetch: the blocking remote counterpart
+    /// of `LocalService::run_job`, returning the identical document.
+    fn run_job(&self, spec: &JobSpec) -> Result<String, ServiceError> {
+        let mut status = self.submit(spec)?;
+        let mut polls = 0usize;
+        loop {
+            match status.state {
+                JobState::Done => return self.result(&status.job),
+                JobState::Failed => {
+                    return Err(ServiceError::JobFailed(
+                        status
+                            .error
+                            .unwrap_or_else(|| "unrecorded failure".to_string()),
+                    ));
+                }
+                JobState::Queued | JobState::Running => {
+                    if polls >= self.max_polls {
+                        return Err(ServiceError::Transport(format!(
+                            "job `{}` still {} after {} polls",
+                            status.job,
+                            status.state.label(),
+                            self.max_polls,
+                        )));
+                    }
+                    polls += 1;
+                    std::thread::sleep(self.poll_interval);
+                    status = self.status(&status.job)?;
+                }
+            }
+        }
+    }
+}
+
+/// Splits a raw HTTP/1.x response into (status code, body).
+fn parse_response(text: &str) -> Result<(u16, String), ServiceError> {
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| ServiceError::Protocol("response has no header terminator".into()))?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let mut parts = status_line.split(' ');
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServiceError::Protocol(format!(
+            "not an HTTP/1.x response: `{status_line}`"
+        )));
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| ServiceError::Protocol(format!("bad status line `{status_line}`")))?;
+    Ok((code, body.to_string()))
+}
+
+/// Pulls the `error` field out of an error body, falling back to the raw
+/// body so a diagnostic never comes back empty.
+fn error_message(body: &str) -> String {
+    wire::parse_object(body)
+        .ok()
+        .and_then(|fields| {
+            wire::get(&fields, "error")
+                .and_then(wire::JsonValue::as_str)
+                .map(str::to_string)
+        })
+        .unwrap_or_else(|| body.to_string())
+}
+
+fn unexpected(code: u16, body: &str) -> ServiceError {
+    ServiceError::Protocol(format!("unexpected status {code}: {}", error_message(body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_parsing_extracts_code_and_body() {
+        let (code, body) =
+            parse_response("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}").unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, "{}");
+        let (code, body) = parse_response("HTTP/1.1 404 Not Found\r\n\r\n").unwrap();
+        assert_eq!(code, 404);
+        assert_eq!(body, "");
+    }
+
+    #[test]
+    fn response_parsing_rejects_garbage() {
+        assert!(parse_response("").is_err());
+        assert!(parse_response("HTTP/1.1 200 OK\r\nno blank line").is_err());
+        assert!(parse_response("ICY 200 OK\r\n\r\nbody").is_err());
+        assert!(parse_response("HTTP/1.1 abc OK\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn error_bodies_surface_their_message() {
+        assert_eq!(error_message("{\"error\":\"nope\"}"), "nope");
+        assert_eq!(error_message("not json at all"), "not json at all");
+    }
+
+    #[test]
+    fn client_construction_is_cheap_and_configurable() {
+        let client = HttpClient::new("127.0.0.1:9").with_polling(Duration::from_millis(1), 3);
+        assert_eq!(client.addr(), "127.0.0.1:9");
+        assert_eq!(client.max_polls, 3);
+        // Nothing is listening on the discard port: a clean Transport error.
+        assert!(matches!(client.health(), Err(ServiceError::Transport(_))));
+    }
+}

@@ -1,0 +1,199 @@
+//! The content-addressed result cache.
+//!
+//! Keys are [`analysis::JobSpec::cache_key`] digests — 16 lowercase hex
+//! characters naming the canonical spec bytes — so a cache entry *is* the
+//! result of the spec that hashes to it. Storage is two-tier: an in-memory
+//! map always, plus `cache/<key>.json` files when a directory is configured,
+//! so results survive daemon restarts. Disk writes go through a temp file +
+//! rename so a crash mid-write cannot leave a torn entry that a later
+//! lookup would serve as a result.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Whether `key` has the exact shape [`analysis::JobSpec::cache_key`]
+/// produces. Everything else is refused — the key doubles as a filename
+/// stem, so this is also the path-traversal guard.
+pub fn valid_key(key: &str) -> bool {
+    key.len() == 16
+        && key
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+/// A cache failure (configuration or disk I/O).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// Creating the cache directory or writing an entry failed.
+    Io(String),
+    /// The key is not a well-formed cache digest.
+    BadKey(String),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Io(why) => write!(f, "cache I/O failure: {why}"),
+            CacheError::BadKey(key) => write!(f, "malformed cache key `{key}`"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// The two-tier (memory + optional disk) result cache.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+    memory: Mutex<BTreeMap<String, String>>,
+}
+
+impl ResultCache {
+    /// A memory-only cache (results die with the process).
+    pub fn in_memory() -> ResultCache {
+        ResultCache {
+            dir: None,
+            memory: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A disk-backed cache rooted at `dir` (created if absent). Entries are
+    /// `<dir>/<key>.json`.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Result<ResultCache, CacheError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| CacheError::Io(format!("create {}: {e}", dir.display())))?;
+        Ok(ResultCache {
+            dir: Some(dir),
+            memory: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The backing directory, if this cache persists to disk.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Looks `key` up: memory first, then disk (promoting a disk hit into
+    /// memory). Malformed keys never hit.
+    pub fn lookup(&self, key: &str) -> Option<String> {
+        if !valid_key(key) {
+            return None;
+        }
+        let mut memory = lock(&self.memory);
+        if let Some(hit) = memory.get(key) {
+            return Some(hit.clone());
+        }
+        let dir = self.dir.as_ref()?;
+        let document = fs::read_to_string(entry_path(dir, key)).ok()?;
+        memory.insert(key.to_string(), document.clone());
+        Some(document)
+    }
+
+    /// Stores `document` under `key` in memory and (if configured) on disk.
+    pub fn store(&self, key: &str, document: &str) -> Result<(), CacheError> {
+        if !valid_key(key) {
+            return Err(CacheError::BadKey(key.to_string()));
+        }
+        lock(&self.memory).insert(key.to_string(), document.to_string());
+        if let Some(dir) = &self.dir {
+            let tmp = dir.join(format!("{key}.tmp"));
+            let path = entry_path(dir, key);
+            fs::write(&tmp, document)
+                .map_err(|e| CacheError::Io(format!("write {}: {e}", tmp.display())))?;
+            fs::rename(&tmp, &path)
+                .map_err(|e| CacheError::Io(format!("rename {}: {e}", path.display())))?;
+        }
+        Ok(())
+    }
+
+    /// Number of entries resident in memory (disk entries not yet looked up
+    /// are not counted).
+    pub fn resident_len(&self) -> usize {
+        lock(&self.memory).len()
+    }
+}
+
+fn entry_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{key}.json"))
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock: cache state is
+/// a plain map, valid at every step, so a panicked peer cannot have left it
+/// torn.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ssle-cache-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn key_validation_is_strict() {
+        assert!(valid_key("0123456789abcdef"));
+        assert!(!valid_key("0123456789ABCDEF"));
+        assert!(!valid_key("0123456789abcde"));
+        assert!(!valid_key("0123456789abcdef0"));
+        assert!(!valid_key("../../etc/passwd"));
+        assert!(!valid_key(""));
+    }
+
+    #[test]
+    fn memory_cache_round_trips() {
+        let cache = ResultCache::in_memory();
+        assert_eq!(cache.lookup("0123456789abcdef"), None);
+        cache.store("0123456789abcdef", "{\"x\":1}").unwrap();
+        assert_eq!(
+            cache.lookup("0123456789abcdef").as_deref(),
+            Some("{\"x\":1}")
+        );
+        assert_eq!(cache.resident_len(), 1);
+        assert!(matches!(
+            cache.store("not a key", "{}"),
+            Err(CacheError::BadKey(_))
+        ));
+    }
+
+    #[test]
+    fn disk_cache_persists_across_instances() {
+        let dir = tmp_dir("persist");
+        {
+            let cache = ResultCache::with_dir(&dir).unwrap();
+            cache
+                .store("00000000000000aa", "{\"persisted\":true}")
+                .unwrap();
+            assert!(dir.join("00000000000000aa.json").is_file());
+        }
+        let fresh = ResultCache::with_dir(&dir).unwrap();
+        assert_eq!(fresh.resident_len(), 0);
+        assert_eq!(
+            fresh.lookup("00000000000000aa").as_deref(),
+            Some("{\"persisted\":true}")
+        );
+        // The disk hit was promoted into memory.
+        assert_eq!(fresh.resident_len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_keys_never_touch_disk() {
+        let dir = tmp_dir("traversal");
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        assert_eq!(cache.lookup("../escape"), None);
+        assert!(cache.store("../escape", "{}").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

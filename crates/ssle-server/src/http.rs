@@ -1,0 +1,248 @@
+//! Minimal HTTP/1.1 framing.
+//!
+//! Just enough of RFC 9112 for the four service routes: one request per
+//! connection (the server always answers `Connection: close`), sized bodies
+//! via `Content-Length`, strict size limits, and no chunked encoding. The
+//! reader is generic over [`Read`] so the parser unit-tests run on byte
+//! slices without sockets.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Maximum accepted size of the request line + headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum accepted request body size (job specs are tiny; this is slack).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: method, target path, and the (possibly empty) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method token (`GET`, `POST`, ..), as sent.
+    pub method: String,
+    /// The request target (`/jobs`, `/healthz`, ..), as sent.
+    pub target: String,
+    /// The request body, decoded as UTF-8.
+    pub body: String,
+}
+
+/// Why a request could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The socket read failed (includes timeouts).
+    Io(String),
+    /// The bytes did not form a well-formed HTTP/1.x request.
+    Malformed(String),
+    /// The head or body exceeded its size limit.
+    TooLarge(&'static str),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(why) => write!(f, "socket read failed: {why}"),
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::TooLarge(what) => write!(f, "request {what} exceeds the size limit"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads and parses one HTTP/1.x request from `stream`.
+pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_len = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            if pos > MAX_HEAD_BYTES {
+                return Err(HttpError::TooLarge("head"));
+            }
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("head"));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before the blank line".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?;
+    let target = parts
+        .next()
+        .filter(|t| !t.is_empty())
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("body"));
+    }
+    // The body: whatever arrived past the blank line, then sized reads.
+    let mut body = buf[head_len + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body =
+        String::from_utf8(body).map_err(|_| HttpError::Malformed("body is not UTF-8".into()))?;
+    Ok(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        body,
+    })
+}
+
+/// Writes one complete response and flushes. The service always closes the
+/// connection afterwards, which is what lets the client read to EOF.
+pub fn write_response<W: Write>(stream: &mut W, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The reason phrase for the status codes the service emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Status",
+    }
+}
+
+/// Position of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut std::io::Cursor::new(bytes.to_vec()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse(b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\":1}\r\n")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/jobs");
+        assert_eq!(req.body, "{\"a\":1}\r\n");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let req = parse(b"POST / HTTP/1.1\r\ncontent-LENGTH: 2\r\n\r\nok").unwrap();
+        assert_eq!(req.body, "ok");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            &b"\r\n\r\n"[..],
+            &b"GET\r\n\r\n"[..],
+            &b"GET /x SPDY/9\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"[..],
+            &b"GET /x HTTP/1.1\r\nno terminator"[..],
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn enforces_size_limits() {
+        let huge_header = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES + 1)
+        );
+        assert_eq!(
+            parse(huge_header.as_bytes()),
+            Err(HttpError::TooLarge("head"))
+        );
+        let huge_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(
+            parse(huge_body.as_bytes()),
+            Err(HttpError::TooLarge("body"))
+        );
+    }
+
+    #[test]
+    fn response_framing_is_complete() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn status_reasons_cover_the_service_codes() {
+        for code in [200, 202, 400, 404, 405, 500] {
+            assert_ne!(status_reason(code), "Status", "missing reason for {code}");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! The experiment service daemon.
+//!
+//! `ssle-server` exposes the `analysis::service` layer over a hand-rolled
+//! HTTP/1.1 job-queue API on `std::net::TcpListener` (the build environment
+//! is offline, so there is no async runtime or web framework to lean on —
+//! and none is needed: the API is four routes and the payloads are small):
+//!
+//! | Route                  | Meaning                                        |
+//! |------------------------|------------------------------------------------|
+//! | `POST /jobs`           | submit a [`analysis::JobSpec`]; returns status |
+//! | `GET /jobs/:id`        | poll a job's [`analysis::JobStatus`]           |
+//! | `GET /jobs/:id/result` | fetch the finished result table JSON           |
+//! | `GET /healthz`         | queue depth, worker state, job/cache counters  |
+//!
+//! The tiers, bottom-up:
+//!
+//! * [`http`] — request/response framing (sized reads, strict limits),
+//! * [`cache`] — the content-addressed result cache (`cache/<key>.json`,
+//!   key = the spec's FNV digest from [`analysis::JobSpec::cache_key`]),
+//! * [`queue`] — the job table + pending queue + counters behind one mutex,
+//! * [`server`] — the accept loop, the fixed worker pool executing jobs via
+//!   `analysis::LocalService`, and the [`server::ServerHandle`] lifecycle.
+//!
+//! Everything a worker computes goes through `LocalService`, so a daemon
+//! result is byte-identical to a local run of the same spec — that identity
+//! (and cache-hit accounting on resubmission) is asserted end-to-end by
+//! `tests/service_e2e.rs` and the CI `server-smoke` job.
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod http;
+pub mod queue;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use queue::JobQueue;
+pub use server::{spawn, ServerConfig, ServerError, ServerHandle};

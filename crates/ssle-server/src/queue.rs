@@ -1,0 +1,342 @@
+//! The job table, pending queue, and service counters.
+//!
+//! One mutex guards all of it — the job map, the FIFO of keys awaiting a
+//! worker, and the counters `/healthz` reports — so every transition
+//! (submit, claim, complete) is atomic and the counters can never disagree
+//! with the states they summarize. Workers park on a condvar; submission
+//! wakes one.
+//!
+//! Jobs are keyed by [`JobSpec::cache_key`], so an identical re-submission
+//! *is* the same job: a finished record answers it from memory (counted as
+//! a cache hit), an in-flight record just hands back the same key (neither
+//! hit nor miss — no new work was scheduled and nothing was served).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use analysis::{JobSpec, JobState, JobStatus, ServiceHealth};
+
+use crate::cache::ResultCache;
+
+/// One job's full server-side record.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The validated spec this job runs.
+    pub spec: JobSpec,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Whether the record was materialized from the result cache rather
+    /// than executed by this process.
+    pub cached: bool,
+    /// The rendered result document, once done.
+    pub result: Option<String>,
+    /// The failure message, once failed.
+    pub error: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    pending: VecDeque<String>,
+    jobs: BTreeMap<String, JobRecord>,
+    busy_workers: u64,
+    jobs_submitted: u64,
+    jobs_completed: u64,
+    jobs_failed: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    shutdown: bool,
+}
+
+/// The shared queue (see the module docs for the locking discipline).
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    pub fn new() -> JobQueue {
+        JobQueue::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        // A poisoned lock means a peer panicked; the state is a plain map +
+        // counters, consistent at every step, so recover the data.
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Submits a (pre-validated) spec. Resolution order: an existing record
+    /// under the same key, then the result cache, then a fresh enqueue.
+    /// Returns the status the `POST /jobs` response carries.
+    pub fn submit(&self, spec: JobSpec, cache: &ResultCache) -> JobStatus {
+        let key = spec.cache_key();
+        let mut state = self.lock();
+        state.jobs_submitted += 1;
+        if let Some(record) = state.jobs.get(&key) {
+            let mut status = status_of(&key, record);
+            if record.state == JobState::Done {
+                // Served from the finished record without scheduling work:
+                // a cache hit from the submitter's point of view.
+                state.cache_hits += 1;
+                status.cached = true;
+            }
+            return status;
+        }
+        if let Some(document) = cache.lookup(&key) {
+            state.cache_hits += 1;
+            let record = JobRecord {
+                spec,
+                state: JobState::Done,
+                cached: true,
+                result: Some(document),
+                error: None,
+            };
+            let status = status_of(&key, &record);
+            state.jobs.insert(key, record);
+            return status;
+        }
+        state.cache_misses += 1;
+        let record = JobRecord {
+            spec,
+            state: JobState::Queued,
+            cached: false,
+            result: None,
+            error: None,
+        };
+        let status = status_of(&key, &record);
+        state.jobs.insert(key.clone(), record);
+        state.pending.push_back(key);
+        self.ready.notify_one();
+        status
+    }
+
+    /// The poll view of `key`, if the job exists.
+    pub fn status(&self, key: &str) -> Option<JobStatus> {
+        let state = self.lock();
+        state.jobs.get(key).map(|record| status_of(key, record))
+    }
+
+    /// A snapshot of the full record (the result endpoint needs the
+    /// document, not just the status).
+    pub fn record(&self, key: &str) -> Option<JobRecord> {
+        self.lock().jobs.get(key).cloned()
+    }
+
+    /// Blocks until a job is available (returning its key and spec, with
+    /// the record moved to [`JobState::Running`]) or the queue shuts down
+    /// (returning `None`). Worker threads loop on this.
+    pub fn next_job(&self) -> Option<(String, JobSpec)> {
+        let mut state = self.lock();
+        loop {
+            if state.shutdown {
+                return None;
+            }
+            if let Some(key) = state.pending.pop_front() {
+                if let Some(record) = state.jobs.get_mut(&key) {
+                    record.state = JobState::Running;
+                    let spec = record.spec.clone();
+                    state.busy_workers += 1;
+                    return Some((key, spec));
+                }
+                continue;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Records the outcome of a claimed job and releases the worker slot.
+    pub fn complete(&self, key: &str, outcome: Result<String, String>) {
+        let mut state = self.lock();
+        state.busy_workers = state.busy_workers.saturating_sub(1);
+        let Some(record) = state.jobs.get_mut(key) else {
+            return;
+        };
+        match outcome {
+            Ok(document) => {
+                record.state = JobState::Done;
+                record.result = Some(document);
+                state.jobs_completed += 1;
+            }
+            Err(message) => {
+                record.state = JobState::Failed;
+                record.error = Some(message);
+                state.jobs_failed += 1;
+            }
+        }
+    }
+
+    /// Wakes every parked worker and makes [`JobQueue::next_job`] return
+    /// `None` from now on.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.ready.notify_all();
+    }
+
+    /// The `/healthz` snapshot (`workers` is the pool size, which the queue
+    /// itself does not know).
+    pub fn health(&self, workers: u64) -> ServiceHealth {
+        let state = self.lock();
+        ServiceHealth {
+            workers,
+            busy_workers: state.busy_workers,
+            queue_depth: state.pending.len() as u64,
+            jobs_submitted: state.jobs_submitted,
+            jobs_completed: state.jobs_completed,
+            jobs_failed: state.jobs_failed,
+            cache_hits: state.cache_hits,
+            cache_misses: state.cache_misses,
+        }
+    }
+}
+
+/// The wire status of a record: progress is the coarse 0 / 0.5 / 1 ladder.
+fn status_of(key: &str, record: &JobRecord) -> JobStatus {
+    let progress = match record.state {
+        JobState::Queued => 0.0,
+        JobState::Running => 0.5,
+        JobState::Done | JobState::Failed => 1.0,
+    };
+    JobStatus {
+        job: key.to_string(),
+        state: record.state,
+        progress,
+        cached: record.cached,
+        error: record.error.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::Scale;
+
+    fn sweep_spec() -> JobSpec {
+        JobSpec::new("sweep", Scale::Tiny)
+    }
+
+    #[test]
+    fn submit_claim_complete_walks_the_lifecycle() {
+        let queue = JobQueue::new();
+        let cache = ResultCache::in_memory();
+        let spec = sweep_spec();
+        let key = spec.cache_key();
+
+        let submitted = queue.submit(spec.clone(), &cache);
+        assert_eq!(submitted.job, key);
+        assert_eq!(submitted.state, JobState::Queued);
+        assert_eq!(submitted.progress, 0.0);
+        assert!(!submitted.cached);
+
+        let (claimed_key, claimed_spec) = queue.next_job().unwrap();
+        assert_eq!(claimed_key, key);
+        assert_eq!(claimed_spec, spec);
+        assert_eq!(queue.status(&key).unwrap().state, JobState::Running);
+        assert_eq!(queue.status(&key).unwrap().progress, 0.5);
+        assert_eq!(queue.health(1).busy_workers, 1);
+
+        queue.complete(&key, Ok("{\"done\":true}".to_string()));
+        let done = queue.status(&key).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(done.progress, 1.0);
+        assert_eq!(
+            queue.record(&key).unwrap().result.as_deref(),
+            Some("{\"done\":true}")
+        );
+
+        let health = queue.health(1);
+        assert_eq!(health.busy_workers, 0);
+        assert_eq!(health.jobs_submitted, 1);
+        assert_eq!(health.jobs_completed, 1);
+        assert_eq!(health.cache_misses, 1);
+        assert_eq!(health.cache_hits, 0);
+    }
+
+    #[test]
+    fn finished_records_answer_resubmission_as_cache_hits() {
+        let queue = JobQueue::new();
+        let cache = ResultCache::in_memory();
+        let spec = sweep_spec();
+        let key = spec.cache_key();
+        queue.submit(spec.clone(), &cache);
+        let (claimed, _) = queue.next_job().unwrap();
+        queue.complete(&claimed, Ok("{}".to_string()));
+
+        let resubmitted = queue.submit(spec, &cache);
+        assert_eq!(resubmitted.state, JobState::Done);
+        assert!(resubmitted.cached);
+        let health = queue.health(1);
+        assert_eq!(health.cache_hits, 1);
+        assert_eq!(health.cache_misses, 1);
+        assert_eq!(health.queue_depth, 0);
+        assert_eq!(health.jobs_submitted, 2);
+        // The key never re-entered the pending queue.
+        assert_eq!(queue.record(&key).unwrap().state, JobState::Done);
+    }
+
+    #[test]
+    fn in_flight_duplicates_neither_hit_nor_miss() {
+        let queue = JobQueue::new();
+        let cache = ResultCache::in_memory();
+        queue.submit(sweep_spec(), &cache);
+        let duplicate = queue.submit(sweep_spec(), &cache);
+        assert_eq!(duplicate.state, JobState::Queued);
+        let health = queue.health(1);
+        assert_eq!(health.cache_hits, 0);
+        assert_eq!(health.cache_misses, 1);
+        assert_eq!(health.queue_depth, 1, "no duplicate pending entry");
+        assert_eq!(health.jobs_submitted, 2);
+    }
+
+    #[test]
+    fn disk_cache_answers_a_fresh_queue() {
+        let queue = JobQueue::new();
+        let cache = ResultCache::in_memory();
+        let spec = sweep_spec();
+        cache
+            .store(&spec.cache_key(), "{\"from\":\"cache\"}")
+            .unwrap();
+        let status = queue.submit(spec.clone(), &cache);
+        assert_eq!(status.state, JobState::Done);
+        assert!(status.cached);
+        assert_eq!(
+            queue.record(&spec.cache_key()).unwrap().result.as_deref(),
+            Some("{\"from\":\"cache\"}")
+        );
+        let health = queue.health(1);
+        assert_eq!(health.cache_hits, 1);
+        assert_eq!(health.cache_misses, 0);
+        assert_eq!(health.queue_depth, 0);
+    }
+
+    #[test]
+    fn failed_jobs_carry_their_error() {
+        let queue = JobQueue::new();
+        let cache = ResultCache::in_memory();
+        let spec = sweep_spec();
+        let key = spec.cache_key();
+        queue.submit(spec, &cache);
+        let (claimed, _) = queue.next_job().unwrap();
+        queue.complete(&claimed, Err("engine exploded".to_string()));
+        let status = queue.status(&key).unwrap();
+        assert_eq!(status.state, JobState::Failed);
+        assert_eq!(status.error.as_deref(), Some("engine exploded"));
+        assert_eq!(queue.health(1).jobs_failed, 1);
+    }
+
+    #[test]
+    fn shutdown_unblocks_workers() {
+        let queue = std::sync::Arc::new(JobQueue::new());
+        let worker = {
+            let queue = queue.clone();
+            std::thread::spawn(move || queue.next_job())
+        };
+        queue.shutdown();
+        assert_eq!(worker.join().unwrap(), None);
+    }
+}

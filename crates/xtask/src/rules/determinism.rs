@@ -30,6 +30,8 @@ const MAP_SCOPE: &[&str] = &[
     "crates/ssle-core/",
     "crates/baselines/",
     "crates/analysis/",
+    "crates/ssle-server/",
+    "crates/ssle-client/",
 ];
 
 /// Modules approved to read wall clocks and the environment.

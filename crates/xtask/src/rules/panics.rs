@@ -1,21 +1,33 @@
-//! Rule `panic`: engine code must not panic on recoverable conditions.
+//! Rule `panic`: engine and service code must not panic on recoverable
+//! conditions.
 //!
 //! `crates/ppsim/src/` routes fallible construction and stepping through the
-//! typed `SimError` (`try_new`, `try_run_until`, ..); bare `.unwrap()`,
-//! `.expect(..)`, and `panic!(..)` in non-test engine code bypass that
-//! contract. The few legitimate sites — documented panicking wrappers whose
-//! messages are pinned by `#[should_panic]` tests, and invariants proven by
-//! construction — carry explicit waivers.
+//! typed `SimError` (`try_new`, `try_run_until`, ..), and the experiment
+//! daemon/client (`crates/ssle-server/src/`, `crates/ssle-client/src/`)
+//! route theirs through `ServiceError` and friends — a panicking request
+//! handler or worker takes the whole daemon down, so the long-lived service
+//! is held to the same bar as the engine. Bare `.unwrap()`, `.expect(..)`,
+//! and `panic!(..)` in non-test code in these trees bypass that contract
+//! (poisoned-lock recovery uses `unwrap_or_else(|p| p.into_inner())`, which
+//! this rule deliberately does not match). The few legitimate sites —
+//! documented panicking wrappers whose messages are pinned by
+//! `#[should_panic]` tests, and invariants proven by construction — carry
+//! explicit waivers.
 
 use super::{text_at, Finding};
 use crate::source::SourceFile;
 
-/// Only the ppsim engine sources are held to the no-panic contract.
-const SCOPE: &str = "crates/ppsim/src/";
+/// The trees held to the no-panic contract: the ppsim engine plus the
+/// experiment service daemon and its client.
+const SCOPE: &[&str] = &[
+    "crates/ppsim/src/",
+    "crates/ssle-server/src/",
+    "crates/ssle-client/src/",
+];
 
 /// Runs this rule over `file`, appending findings.
 pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
-    if !file.rel.starts_with(SCOPE) {
+    if !SCOPE.iter().any(|p| file.rel.starts_with(p)) {
         return;
     }
     let tokens = &file.tokens;
@@ -43,8 +55,8 @@ pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
                 rel: file.rel.clone(),
                 line: t.line,
                 message: format!(
-                    "{what} in engine code: route errors through SimError \
-                     (try_* constructors), or waive with a reason"
+                    "{what} in no-panic scope: route errors through the typed error \
+                     (SimError / ServiceError), or waive with a reason"
                 ),
             });
         }
@@ -77,6 +89,16 @@ mod tests {
         assert!(lint("crates/ppsim/src/engine.rs", src).is_empty());
         let src2 = "fn f() { x.unwrap(); }\n";
         assert!(lint("crates/ssle-core/src/adversary.rs", src2).is_empty());
+    }
+
+    #[test]
+    fn service_crates_are_in_scope() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(lint("crates/ssle-server/src/server.rs", src).len(), 1);
+        assert_eq!(lint("crates/ssle-client/src/lib.rs", src).len(), 1);
+        // Poisoned-lock recovery is the sanctioned idiom, not a finding.
+        let recover = "fn f() { let g = m.lock().unwrap_or_else(|p| p.into_inner()); }\n";
+        assert!(lint("crates/ssle-server/src/queue.rs", recover).is_empty());
     }
 
     #[test]

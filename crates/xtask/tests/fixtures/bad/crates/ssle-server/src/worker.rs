@@ -1,0 +1,9 @@
+//! Known-bad fixture: server-shaped worker code that panics on recoverable
+//! conditions. A panicking worker thread takes its queue slot down for the
+//! daemon's lifetime, so rule `panic` must flag the lock `.unwrap()` here
+//! (the compliant idiom is `unwrap_or_else(|p| p.into_inner())`).
+
+pub fn claim_next(queue: &std::sync::Mutex<Vec<String>>) -> Option<String> {
+    let mut jobs = queue.lock().unwrap();
+    jobs.pop()
+}

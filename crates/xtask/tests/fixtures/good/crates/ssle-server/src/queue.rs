@@ -1,0 +1,12 @@
+//! Compliant fixture: service code under the no-panic contract. Poisoned
+//! locks are recovered (the state is valid at every step), and job lookups
+//! use ordered maps so `/healthz` snapshots are deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+pub fn snapshot(jobs: &Mutex<BTreeMap<String, u64>>) -> Vec<(String, u64)> {
+    let guard: MutexGuard<'_, BTreeMap<String, u64>> =
+        jobs.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    guard.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}

@@ -27,6 +27,7 @@
 //! events with no wall-clock fields, so the exported file must also be
 //! byte-identical across thread counts.
 
+use ppsim::digest::Fnv64;
 use ppsim::epidemic::{measure_epidemic_time_with, OneWayEpidemic};
 use ppsim::simulation::StabilizationOptions;
 use ppsim::{
@@ -88,13 +89,14 @@ fn traced_epidemic_det_stream(trials: usize, n: usize) -> String {
 
 fn emit(workload: &str, stats: &FleetStats) {
     // Digest of the full retained sample: every observation's bit pattern
-    // folded in, so a single reordered or perturbed sample changes the row.
-    let sample_digest = stats
-        .samples()
-        .iter()
-        .fold(0xCBF2_9CE4_8422_2325u64, |h, v| {
-            (h ^ v.to_bits()).wrapping_mul(0x100_0000_01B3)
-        });
+    // folded in (word-wise, `ppsim::digest::Fnv64` — the CI diff contract
+    // pins this fold), so a single reordered or perturbed sample changes the
+    // row.
+    let mut hasher = Fnv64::new();
+    for v in stats.samples() {
+        hasher.write_f64_bits(*v);
+    }
+    let sample_digest = hasher.finish();
     println!(
         "{workload},{},{},{:#018x},{:#018x},{:#018x},{:#018x},{},{:#018x}",
         stats.trials,

@@ -1,0 +1,88 @@
+//! Experiment-service smoke driver (the CI `server-smoke` in-process leg).
+//!
+//! Boots the daemon on an ephemeral loopback port, then walks the whole
+//! API surface through the blocking client:
+//!
+//! 1. `sweep` (timing-free) over HTTP, byte-diffed against `LocalService`;
+//! 2. identical re-submission, asserted served-from-cache via the `cached`
+//!    status flag and the `/healthz` hit/miss counters;
+//! 3. a registry experiment (`e10` at tiny scale) through the same
+//!    submit→poll→fetch pipeline (its table embeds wall-clock columns, so
+//!    it smoke-tests the plumbing, not byte-identity).
+//!
+//! Exits nonzero on any violated assertion.
+//!
+//! ```bash
+//! cargo run --release --example service_smoke
+//! ```
+
+use std::time::Duration;
+
+use analysis::{ExperimentService, JobSpec, JobState, LocalService, Scale};
+use ssle_client::HttpClient;
+use ssle_server::{spawn, ServerConfig};
+
+fn main() {
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache_dir: None,
+    })
+    .expect("daemon starts");
+    let addr = server.addr();
+    println!("service_smoke: daemon on {addr}");
+    let client = HttpClient::new(addr.to_string()).with_polling(Duration::from_millis(10), 30_000);
+
+    // Leg 1: byte identity on the deterministic sweep.
+    let spec = JobSpec::new("sweep", Scale::Tiny);
+    let remote = client.run_job(&spec).expect("remote sweep completes");
+    let local = LocalService.run_job(&spec).expect("local sweep completes");
+    assert_eq!(remote, local, "remote and local sweep bytes must match");
+    println!(
+        "service_smoke: sweep byte-identity ok ({} bytes, job {})",
+        remote.len(),
+        spec.cache_key()
+    );
+
+    // Leg 2: cache hit on identical re-submission.
+    let before = client.health().expect("healthz");
+    let resubmitted = client.submit(&spec).expect("resubmission accepted");
+    assert_eq!(
+        resubmitted.state,
+        JobState::Done,
+        "resubmission must be already done"
+    );
+    assert!(resubmitted.cached, "resubmission must be flagged cached");
+    let replay = client.result(&resubmitted.job).expect("cached result");
+    assert_eq!(replay, remote, "cache must serve the original bytes");
+    let after = client.health().expect("healthz");
+    assert_eq!(
+        after.cache_hits,
+        before.cache_hits + 1,
+        "hit counter must bump"
+    );
+    assert_eq!(
+        after.cache_misses, before.cache_misses,
+        "no new execution scheduled"
+    );
+    println!(
+        "service_smoke: cache hit ok (hits {} -> {}, misses {})",
+        before.cache_hits, after.cache_hits, after.cache_misses
+    );
+
+    // Leg 3: a registry experiment through the full pipeline.
+    let e10 = JobSpec::new("e10", Scale::Tiny);
+    let table = client.run_job(&e10).expect("remote e10 completes");
+    assert!(
+        table.contains("\"title\""),
+        "e10 result must be a table document"
+    );
+    println!("service_smoke: registry e10 ok ({} bytes)", table.len());
+
+    let health = client.health().expect("healthz");
+    println!(
+        "service_smoke: PASS (submitted {}, completed {}, hits {}, misses {})",
+        health.jobs_submitted, health.jobs_completed, health.cache_hits, health.cache_misses
+    );
+    server.shutdown();
+}

@@ -1,0 +1,156 @@
+//! End-to-end contract tests for the experiment service.
+//!
+//! The daemon (`ssle-server`) runs in-process on an ephemeral loopback
+//! port; the client (`ssle-client`) talks to it over real sockets. The two
+//! assertions that define the subsystem:
+//!
+//! 1. **Byte identity** — an HTTP job result is byte-for-byte identical to
+//!    `LocalService` for the same spec (on the timing-free sweep workload).
+//! 2. **Cache correctness** — re-submitting the identical spec is served
+//!    from the content-addressed cache without re-running, observable in
+//!    the `/healthz` counters and the `cached` status flag.
+
+use std::time::Duration;
+
+use analysis::{ExperimentService, JobSpec, JobState, LocalService, Scale, ServiceError};
+use ssle_client::HttpClient;
+use ssle_server::{spawn, ServerConfig};
+
+/// Short polling so queued→done transitions on tiny jobs are cheap.
+fn client_for(addr: std::net::SocketAddr) -> HttpClient {
+    HttpClient::new(addr.to_string()).with_polling(Duration::from_millis(10), 6_000)
+}
+
+fn start(cache_dir: Option<std::path::PathBuf>) -> ssle_server::ServerHandle {
+    spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache_dir,
+    })
+    .expect("daemon starts on an ephemeral port")
+}
+
+#[test]
+fn remote_result_is_byte_identical_to_local() {
+    let server = start(None);
+    let client = client_for(server.addr());
+    let spec = JobSpec::new("sweep", Scale::Tiny);
+
+    let remote = client.run_job(&spec).expect("remote job completes");
+    let local = LocalService.run_job(&spec).expect("local job completes");
+    assert_eq!(
+        remote, local,
+        "HTTP and in-process backends must agree byte-for-byte"
+    );
+    assert!(remote.contains("\"title\""));
+    server.shutdown();
+}
+
+#[test]
+fn identical_resubmission_is_served_from_cache() {
+    let server = start(None);
+    let client = client_for(server.addr());
+    let spec = JobSpec::new("sweep", Scale::Tiny).seed(777);
+
+    let first = client.run_job(&spec).expect("first run completes");
+    let before = client.health().expect("healthz responds");
+    assert_eq!(before.cache_misses, 1, "first submission scheduled work");
+    assert_eq!(before.jobs_completed, 1);
+
+    // The re-submission must come back already done, flagged cached, with
+    // the hit counter bumped and the miss counter untouched.
+    let resubmitted = client.submit(&spec).expect("resubmission accepted");
+    assert_eq!(resubmitted.state, JobState::Done);
+    assert!(resubmitted.cached, "resubmission must be served from cache");
+    let second = client
+        .result(&resubmitted.job)
+        .expect("cached result served");
+    assert_eq!(second, first, "cache must serve the original bytes");
+
+    let after = client.health().expect("healthz responds");
+    assert_eq!(after.cache_hits, before.cache_hits + 1);
+    assert_eq!(
+        after.cache_misses, before.cache_misses,
+        "no re-run was scheduled"
+    );
+    assert_eq!(
+        after.jobs_completed, before.jobs_completed,
+        "no extra execution"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn disk_cache_survives_a_daemon_restart() {
+    let dir = std::env::temp_dir().join(format!("ssle-e2e-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = JobSpec::new("sweep", Scale::Tiny).seed(31337);
+
+    let first = {
+        let server = start(Some(dir.clone()));
+        let client = client_for(server.addr());
+        let document = client.run_job(&spec).expect("first daemon computes");
+        server.shutdown();
+        document
+    };
+    assert!(
+        dir.join(format!("{}.json", spec.cache_key())).is_file(),
+        "result must be on disk under its cache key"
+    );
+
+    // A fresh daemon over the same directory serves the spec without
+    // executing anything.
+    let server = start(Some(dir.clone()));
+    let client = client_for(server.addr());
+    let status = client.submit(&spec).expect("resubmission accepted");
+    assert_eq!(status.state, JobState::Done);
+    assert!(status.cached);
+    let replayed = client.result(&status.job).expect("served from disk");
+    assert_eq!(replayed, first);
+    let health = client.health().expect("healthz responds");
+    assert_eq!(health.cache_hits, 1);
+    assert_eq!(health.cache_misses, 0, "the fresh daemon never ran the job");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn api_errors_map_to_typed_service_errors() {
+    let server = start(None);
+    let client = client_for(server.addr());
+
+    // Unknown experiment and constraint violations arrive as InvalidSpec
+    // (the daemon folds both into its 400 response).
+    assert!(matches!(
+        client.submit(&JobSpec::new("e42", Scale::Tiny)),
+        Err(ServiceError::InvalidSpec(_))
+    ));
+    assert!(matches!(
+        client.submit(&JobSpec::new("sweep", Scale::Tiny).trials(0)),
+        Err(ServiceError::InvalidSpec(_))
+    ));
+    // Unknown job ids are protocol errors on both read endpoints.
+    assert!(matches!(
+        client.status("feedfacefeedface"),
+        Err(ServiceError::Protocol(_))
+    ));
+    assert!(matches!(
+        client.result("feedfacefeedface"),
+        Err(ServiceError::Protocol(_))
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn the_service_trait_is_backend_agnostic() {
+    // The point of the trait: code written against `dyn ExperimentService`
+    // cannot tell the backends apart.
+    fn digest_of(service: &dyn ExperimentService, spec: &JobSpec) -> String {
+        service.run_job(spec).expect("job completes")
+    }
+    let server = start(None);
+    let client = client_for(server.addr());
+    let spec = JobSpec::new("sweep", Scale::Tiny).trials(1);
+    assert_eq!(digest_of(&LocalService, &spec), digest_of(&client, &spec));
+    server.shutdown();
+}
